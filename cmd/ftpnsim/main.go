@@ -1,0 +1,88 @@
+// Command ftpnsim regenerates the paper's evaluation tables from the
+// simulator:
+//
+//	ftpnsim -exp table1
+//	ftpnsim -exp table2 -app mjpeg -runs 20
+//	ftpnsim -exp table2 -app all   -runs 20
+//	ftpnsim -exp table3 -runs 20 -poll 1000
+//
+// Times are virtual (µs ticks) on the SCC platform model; see
+// EXPERIMENTS.md for the paper-vs-measured discussion.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ftpn/internal/des"
+	"ftpn/internal/exp"
+)
+
+func main() {
+	var (
+		expName = flag.String("exp", "table2", "experiment: table1, table2 or table3")
+		appName = flag.String("app", "all", "application: mjpeg, adpcm, h264 or all")
+		runs    = flag.Int("runs", 20, "fault-injection runs per configuration")
+		pollUs  = flag.Int64("poll", 1000, "distance-function poll period in µs (table3)")
+		tokens  = flag.Int64("tokens", 0, "override workload length in tokens (0 = default)")
+	)
+	flag.Parse()
+	if err := run(*expName, *appName, *runs, *pollUs, *tokens); err != nil {
+		fmt.Fprintf(os.Stderr, "ftpnsim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(expName, appName string, runs int, pollUs, tokens int64) error {
+	switch expName {
+	case "table1":
+		fmt.Print(exp.FormatTable1(exp.Table1()))
+		return nil
+	case "table2":
+		names := []string{"mjpeg", "adpcm", "h264"}
+		if appName != "all" {
+			names = []string{appName}
+		}
+		for _, n := range names {
+			app, err := exp.AppByName(n, false, tokens)
+			if err != nil {
+				return err
+			}
+			res, err := exp.Table2(app, runs)
+			if err != nil {
+				return err
+			}
+			fmt.Println(res.String())
+		}
+		return nil
+	case "table3":
+		rows, err := exp.Table3(runs, des.Time(pollUs), des.Time(tokens))
+		if err != nil {
+			return err
+		}
+		fmt.Print(exp.FormatTable3(rows))
+		return nil
+	case "report":
+		return exp.WriteReport(os.Stdout, exp.ReportConfig{
+			Runs: runs, Tokens: tokens, PollUs: des.Time(pollUs),
+		})
+	case "fills":
+		name := appName
+		if name == "all" {
+			name = "adpcm"
+		}
+		app, err := exp.AppByName(name, false, tokens)
+		if err != nil {
+			return err
+		}
+		samples, sizing, err := exp.FillProfile(app, 1, app.PeriodUs)
+		if err != nil {
+			return err
+		}
+		fmt.Print(exp.FormatFillProfile(samples, sizing, app, 1))
+		return nil
+	default:
+		return fmt.Errorf("unknown experiment %q (want table1, table2, table3 or fills)", expName)
+	}
+}

@@ -1,0 +1,49 @@
+package main
+
+import "testing"
+
+func TestRunTable1(t *testing.T) {
+	if err := run("table1", "all", 1, 1000, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTable2SingleApp(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	if err := run("table2", "adpcm", 2, 1000, 80); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTable3(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	if err := run("table3", "all", 2, 1000, 80); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFills(t *testing.T) {
+	if err := run("fills", "adpcm", 1, 1000, 60); err != nil {
+		t.Fatal(err)
+	}
+	// "all" falls back to the ADPCM profile.
+	if err := run("fills", "all", 1, 1000, 60); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("nope", "all", 1, 1000, 0); err == nil {
+		t.Error("unknown experiment should fail")
+	}
+	if err := run("table2", "unknown-app", 1, 1000, 0); err == nil {
+		t.Error("unknown app should fail")
+	}
+	if err := run("fills", "unknown-app", 1, 1000, 0); err == nil {
+		t.Error("unknown app should fail for fills")
+	}
+}

@@ -1,0 +1,106 @@
+// Command ftpntopo dumps the process-network topologies of the paper's
+// figures as Graphviz DOT or plain summaries:
+//
+//	ftpntopo -fig 1            # Figure 1: reference + duplicated network
+//	ftpntopo -fig 2            # Figure 2: MJPEG decoder and ADPCM app
+//	ftpntopo -app h264 -dup    # any app, duplicated topology
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ftpn/internal/des"
+	"ftpn/internal/exp"
+	"ftpn/internal/ft"
+	"ftpn/internal/kpn"
+)
+
+func main() {
+	var (
+		fig     = flag.Int("fig", 0, "paper figure to dump (1 or 2); 0 selects -app")
+		appName = flag.String("app", "mjpeg", "application topology: mjpeg, adpcm or h264")
+		dup     = flag.Bool("dup", false, "dump the duplicated (fault-tolerant) topology")
+		summary = flag.Bool("summary", false, "plain summary instead of DOT")
+	)
+	flag.Parse()
+	if err := run(*fig, *appName, *dup, *summary); err != nil {
+		fmt.Fprintf(os.Stderr, "ftpntopo: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(fig int, appName string, dup, summary bool) error {
+	switch fig {
+	case 1:
+		// Figure 1 shows a generic producer -> critical -> consumer
+		// network and its duplicated counterpart.
+		app, err := exp.AppByName("adpcm", false, 1)
+		if err != nil {
+			return err
+		}
+		net, err := app.Build(nil)
+		if err != nil {
+			return err
+		}
+		net.Name = "reference"
+		fmt.Println("// Figure 1 (top): reference process network")
+		emit(net, summary)
+		fmt.Println("// Figure 1 (bottom): duplicated process network")
+		return emitDup(net, summary)
+	case 2:
+		for _, n := range []string{"mjpeg", "adpcm"} {
+			app, err := exp.AppByName(n, false, 1)
+			if err != nil {
+				return err
+			}
+			net, err := app.Build(nil)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("// Figure 2: %s\n", app.Name)
+			emit(net, summary)
+		}
+		return nil
+	case 0:
+		app, err := exp.AppByName(appName, false, 1)
+		if err != nil {
+			return err
+		}
+		net, err := app.Build(nil)
+		if err != nil {
+			return err
+		}
+		if dup {
+			return emitDup(net, summary)
+		}
+		emit(net, summary)
+		return nil
+	default:
+		return fmt.Errorf("unknown figure %d", fig)
+	}
+}
+
+func emit(net *kpn.Network, summary bool) {
+	if summary {
+		fmt.Println(net.Summary())
+		return
+	}
+	fmt.Print(net.DOT())
+}
+
+func emitDup(net *kpn.Network, summary bool) error {
+	k := des.NewKernel()
+	sys, err := ft.Build(k, net, ft.BuildConfig{})
+	if err != nil {
+		return err
+	}
+	defer k.Shutdown()
+	if summary {
+		fmt.Print(sys.DOT()) // the DOT form is the canonical dump
+		return nil
+	}
+	fmt.Print(sys.DOT())
+	return nil
+}

@@ -1,0 +1,33 @@
+package main
+
+import "testing"
+
+func TestRunFigures(t *testing.T) {
+	for _, fig := range []int{1, 2} {
+		for _, summary := range []bool{false, true} {
+			if err := run(fig, "", false, summary); err != nil {
+				t.Errorf("fig %d summary=%v: %v", fig, summary, err)
+			}
+		}
+	}
+}
+
+func TestRunAppTopologies(t *testing.T) {
+	for _, app := range []string{"mjpeg", "adpcm", "h264"} {
+		if err := run(0, app, false, false); err != nil {
+			t.Errorf("%s reference: %v", app, err)
+		}
+		if err := run(0, app, true, false); err != nil {
+			t.Errorf("%s duplicated: %v", app, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(9, "", false, false); err == nil {
+		t.Error("unknown figure should fail")
+	}
+	if err := run(0, "unknown", false, false); err == nil {
+		t.Error("unknown app should fail")
+	}
+}

@@ -1,0 +1,15 @@
+// Package ftpn is a reproduction of "An Efficient Real Time Fault
+// Detection and Tolerance Framework Validated on the Intel SCC
+// Processor" (Rai, Huang, Stoimenov, Thiele — DAC 2014): replicator and
+// selector arbitration channels that make a duplicated real-time
+// process network equivalent to its reference network, counter-based
+// timing-fault detection without runtime timekeeping, arrival-curve
+// sizing of every queue and threshold, and the paper's three benchmark
+// applications (MJPEG decoder, ADPCM, H.264 encoder) running on a
+// simulated Intel SCC.
+//
+// See README.md for the tour, DESIGN.md for the system inventory and
+// EXPERIMENTS.md for the paper-vs-measured comparison. The benchmarks in
+// bench_test.go regenerate every table and figure of the paper's
+// evaluation; the library itself lives under internal/.
+package ftpn

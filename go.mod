@@ -1,0 +1,3 @@
+module ftpn
+
+go 1.22

@@ -1,0 +1,154 @@
+package apps
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"ftpn/internal/codec/adpcm"
+	"ftpn/internal/des"
+	"ftpn/internal/kpn"
+	"ftpn/internal/rtc"
+)
+
+// ADPCMConfig parameterizes the ADPCM application (Figure 2, bottom):
+// the system provides one 3 KB PCM data sample to the replicator every
+// ~6.3 ms; the critical subnetwork is encoder → decoder (the encoder
+// performs 4:1 compression, reverted by the decoder); the consumer reads
+// reconstructed samples.
+type ADPCMConfig struct {
+	SamplesPerBlock int   // PCM samples per token (1500 ⇒ 3 KB)
+	Blocks          int64 // tokens to produce; <= 0 unbounded
+
+	Producer rtc.PJD // Table 1: <6.3ms, 0.1ms, 6.3ms>
+	Consumer rtc.PJD
+
+	Enc StageTiming
+	Dec StageTiming
+
+	InCap, MidCap, OutCap int
+	OutInit               int
+}
+
+// DefaultADPCMConfig returns the paper's parameters: 3 KB samples every
+// 6.3 ms, replica diversity via encoder/decoder jitter tiers.
+func DefaultADPCMConfig() ADPCMConfig {
+	return ADPCMConfig{
+		SamplesPerBlock: 1500, Blocks: 900,
+		Producer: pjd(6_300, 100, 6_300),
+		Consumer: pjd(6_300, 100, 6_300),
+		Enc:      StageTiming{BaseUs: 1_200, PerKBUs: 50, JitterUs: [3]des.Time{500, 1_000, 2_000}},
+		Dec:      StageTiming{BaseUs: 900, PerKBUs: 50, JitterUs: [3]des.Time{500, 1_000, 2_000}},
+		InCap:    4, MidCap: 4, OutCap: 8, OutInit: 4,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (cfg ADPCMConfig) Validate() error {
+	if cfg.SamplesPerBlock < 2 || cfg.SamplesPerBlock%2 != 0 {
+		return fmt.Errorf("apps: ADPCM samples per block must be even and >= 2, got %d", cfg.SamplesPerBlock)
+	}
+	if err := cfg.Producer.Validate(); err != nil {
+		return err
+	}
+	return cfg.Consumer.Validate()
+}
+
+// BlockBytes returns the PCM token size (the paper's 3 KB).
+func (cfg ADPCMConfig) BlockBytes() int { return cfg.SamplesPerBlock * 2 }
+
+// pcmBlock synthesizes deterministic PCM for block i: a few mixed tones
+// with slowly varying phase, packed little-endian.
+func (cfg ADPCMConfig) pcmBlock(i int64) []byte {
+	out := make([]byte, cfg.BlockBytes())
+	base := float64(i) * 0.37
+	for s := 0; s < cfg.SamplesPerBlock; s++ {
+		t := base + float64(s)/48_000
+		v := 9000*math.Sin(2*math.Pi*440*t) +
+			5000*math.Sin(2*math.Pi*1310*t) +
+			2500*math.Sin(2*math.Pi*97*t)
+		binary.LittleEndian.PutUint16(out[s*2:], uint16(int16(v)))
+	}
+	return out
+}
+
+// ADPCMNetwork builds the reference process network.
+func ADPCMNetwork(cfg ADPCMConfig, sink Sink) (*kpn.Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	procs := []kpn.ProcessSpec{
+		{Name: "producer", Role: kpn.RoleProducer, New: func(int) kpn.Behavior {
+			return kpn.Producer(cfg.Producer, 21, cfg.Blocks, cfg.pcmBlock)
+		}},
+		{Name: "encoder", Role: kpn.RoleCritical, New: func(r int) kpn.Behavior {
+			return kpn.Transform(cfg.Enc.work(r), 22, func(i int64, payload []byte) []byte {
+				samples := bytesToPCM(payload)
+				block, err := adpcm.EncodeBlock(samples)
+				if err != nil {
+					panic(fmt.Sprintf("apps: ADPCM encode: %v", err))
+				}
+				return block
+			})
+		}},
+		{Name: "decoder", Role: kpn.RoleCritical, New: func(r int) kpn.Behavior {
+			return kpn.Transform(cfg.Dec.work(r), 23, func(i int64, payload []byte) []byte {
+				samples, err := adpcm.DecodeBlock(payload)
+				if err != nil {
+					panic(fmt.Sprintf("apps: ADPCM decode: %v", err))
+				}
+				return pcmToBytes(samples)
+			})
+		}},
+		{Name: "consumer", Role: kpn.RoleConsumer, New: func(int) kpn.Behavior {
+			return kpn.Consumer(cfg.Consumer, 24, cfg.Blocks, func(now des.Time, tok kpn.Token) {
+				if sink != nil {
+					sink(now, tok)
+				}
+			})
+		}},
+	}
+	chans := []kpn.ChannelSpec{
+		{Name: "F_in", From: "producer", To: "encoder", Capacity: cfg.InCap, TokenBytes: cfg.BlockBytes()},
+		{Name: "F_enc", From: "encoder", To: "decoder", Capacity: cfg.MidCap,
+			TokenBytes: adpcm.CompressedSize(cfg.SamplesPerBlock)},
+		{Name: "F_out", From: "decoder", To: "consumer", Capacity: cfg.OutCap,
+			InitialTokens: cfg.OutInit, TokenBytes: cfg.BlockBytes()},
+	}
+	return &kpn.Network{Name: "adpcm-app", Procs: procs, Chans: chans}, nil
+}
+
+// bytesToPCM unpacks little-endian 16-bit samples.
+func bytesToPCM(b []byte) []int16 {
+	out := make([]int16, len(b)/2)
+	for i := range out {
+		out[i] = int16(binary.LittleEndian.Uint16(b[i*2:]))
+	}
+	return out
+}
+
+// pcmToBytes packs samples little-endian.
+func pcmToBytes(s []int16) []byte {
+	out := make([]byte, len(s)*2)
+	for i, v := range s {
+		binary.LittleEndian.PutUint16(out[i*2:], uint16(v))
+	}
+	return out
+}
+
+// ReplicaOutputModel returns a conservative envelope of replica r's
+// reconstructed-sample output stream.
+func (cfg ADPCMConfig) ReplicaOutputModel(r int) rtc.PJD {
+	j := cfg.Producer.Jitter +
+		cfg.Enc.maxLatencyUs(r, cfg.BlockBytes()) +
+		cfg.Dec.maxLatencyUs(r, adpcm.CompressedSize(cfg.SamplesPerBlock)) +
+		2_000
+	return rtc.PJD{Period: cfg.Producer.Period, Jitter: j}
+}
+
+// ReplicaInputModel returns a conservative envelope of replica r's
+// consumption from the replicator.
+func (cfg ADPCMConfig) ReplicaInputModel(r int) rtc.PJD {
+	j := cfg.Producer.Jitter + cfg.Enc.maxLatencyUs(r, cfg.BlockBytes()) + 2_000
+	return rtc.PJD{Period: cfg.Producer.Period, Jitter: j}
+}

@@ -1,0 +1,180 @@
+package apps
+
+import (
+	"fmt"
+
+	"ftpn/internal/des"
+	"ftpn/internal/dsp"
+	"ftpn/internal/kpn"
+	"ftpn/internal/rtc"
+)
+
+// RadarConfig parameterizes a pulse-Doppler-style radar processing
+// chain — the class of "streaming applications e.g., radar processing"
+// the paper's introduction motivates. One token is one coherent
+// processing interval (a window of range samples); the critical
+// subnetwork is matchedfilter → envelope → cfar, producing detection
+// lists the consumer (tracker) reads at a fixed scan rate.
+type RadarConfig struct {
+	Window    int // range samples per token
+	PulseLen  int
+	Targets   []int     // planted echo delays (range bins)
+	Gains     []float64 // per-target echo gains
+	NoiseAmp  float64
+	Guard     int
+	Train     int
+	Factor    float64
+	Intervals int64 // tokens; <= 0 unbounded
+
+	Producer rtc.PJD
+	Consumer rtc.PJD
+
+	MF   StageTiming
+	Env  StageTiming
+	Cfar StageTiming
+
+	InCap, MidCap, OutCap int
+	OutInit               int
+}
+
+// DefaultRadarConfig returns a 10 Hz scan with two planted targets and
+// the usual replica jitter diversity.
+func DefaultRadarConfig() RadarConfig {
+	return RadarConfig{
+		Window: 2048, PulseLen: 64,
+		Targets: []int{700, 1400}, Gains: []float64{1, 0.8},
+		NoiseAmp: 0.03, Guard: 8, Train: 24, Factor: 3,
+		Intervals: 400,
+		Producer:  pjd(100_000, 5_000, 100_000),
+		Consumer:  pjd(100_000, 5_000, 100_000),
+		MF:        StageTiming{BaseUs: 20_000, PerKBUs: 100, JitterUs: [3]des.Time{5_000, 8_000, 30_000}},
+		Env:       StageTiming{BaseUs: 3_000, JitterUs: [3]des.Time{1_000, 2_000, 8_000}},
+		Cfar:      StageTiming{BaseUs: 6_000, JitterUs: [3]des.Time{2_000, 3_000, 12_000}},
+		InCap:     4, MidCap: 4, OutCap: 8, OutInit: 3,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (cfg RadarConfig) Validate() error {
+	if cfg.Window < 2*cfg.PulseLen || cfg.PulseLen < 8 {
+		return fmt.Errorf("apps: radar window %d / pulse %d too small", cfg.Window, cfg.PulseLen)
+	}
+	if len(cfg.Targets) != len(cfg.Gains) {
+		return fmt.Errorf("apps: radar %d targets vs %d gains", len(cfg.Targets), len(cfg.Gains))
+	}
+	if err := cfg.Producer.Validate(); err != nil {
+		return err
+	}
+	return cfg.Consumer.Validate()
+}
+
+// RadarNetwork builds the reference radar process network. Each
+// consumer token's payload is the packed (cell, value) detection list.
+func RadarNetwork(cfg RadarConfig, sink Sink) (*kpn.Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	pulse, err := dsp.Chirp(cfg.PulseLen, 0.05, 0.2)
+	if err != nil {
+		return nil, err
+	}
+
+	gen := func(i int64) []byte {
+		sig, err := dsp.AddEchoes(cfg.Window, pulse, cfg.Targets, cfg.Gains, cfg.NoiseAmp, 1000+i%16)
+		if err != nil {
+			panic(fmt.Sprintf("apps: radar echo synthesis: %v", err))
+		}
+		return dsp.PackF64(sig)
+	}
+
+	procs := []kpn.ProcessSpec{
+		{Name: "frontend", Role: kpn.RoleProducer, New: func(int) kpn.Behavior {
+			return kpn.Producer(cfg.Producer, 51, cfg.Intervals, gen)
+		}},
+		{Name: "matchedfilter", Role: kpn.RoleCritical, New: func(r int) kpn.Behavior {
+			return kpn.Transform(cfg.MF.work(r), 52, func(i int64, payload []byte) []byte {
+				x, err := dsp.UnpackF64(payload)
+				if err != nil {
+					panic(err)
+				}
+				return dsp.PackF64(dsp.MatchedFilter(x, pulse))
+			})
+		}},
+		{Name: "envelope", Role: kpn.RoleCritical, New: func(r int) kpn.Behavior {
+			return kpn.Transform(cfg.Env.work(r), 53, func(i int64, payload []byte) []byte {
+				x, err := dsp.UnpackF64(payload)
+				if err != nil {
+					panic(err)
+				}
+				return dsp.PackF64(dsp.Envelope(x, 8))
+			})
+		}},
+		{Name: "cfar", Role: kpn.RoleCritical, New: func(r int) kpn.Behavior {
+			return kpn.Transform(cfg.Cfar.work(r), 54, func(i int64, payload []byte) []byte {
+				x, err := dsp.UnpackF64(payload)
+				if err != nil {
+					panic(err)
+				}
+				dets, err := dsp.CACFAR(x, cfg.Guard, cfg.Train, cfg.Factor)
+				if err != nil {
+					panic(err)
+				}
+				flat := make([]float64, 0, 2*len(dets))
+				for _, d := range dets {
+					flat = append(flat, float64(d.Cell), d.Value)
+				}
+				return dsp.PackF64(flat)
+			})
+		}},
+		{Name: "tracker", Role: kpn.RoleConsumer, New: func(int) kpn.Behavior {
+			return kpn.Consumer(cfg.Consumer, 55, cfg.Intervals, func(now des.Time, tok kpn.Token) {
+				if sink != nil {
+					sink(now, tok)
+				}
+			})
+		}},
+	}
+	chans := []kpn.ChannelSpec{
+		{Name: "F_in", From: "frontend", To: "matchedfilter", Capacity: cfg.InCap, TokenBytes: 8 * cfg.Window},
+		{Name: "F_mf", From: "matchedfilter", To: "envelope", Capacity: cfg.MidCap, TokenBytes: 8 * cfg.Window},
+		{Name: "F_env", From: "envelope", To: "cfar", Capacity: cfg.MidCap, TokenBytes: 8 * cfg.Window},
+		{Name: "F_out", From: "cfar", To: "tracker", Capacity: cfg.OutCap,
+			InitialTokens: cfg.OutInit, TokenBytes: 512},
+	}
+	return &kpn.Network{Name: "radar", Procs: procs, Chans: chans}, nil
+}
+
+// DetectionsFromToken unpacks a tracker token back into CFAR hits.
+func DetectionsFromToken(tok kpn.Token) ([]dsp.Detection, error) {
+	flat, err := dsp.UnpackF64(tok.Payload)
+	if err != nil {
+		return nil, err
+	}
+	if len(flat)%2 != 0 {
+		return nil, fmt.Errorf("apps: odd detection payload")
+	}
+	dets := make([]dsp.Detection, 0, len(flat)/2)
+	for i := 0; i < len(flat); i += 2 {
+		dets = append(dets, dsp.Detection{Cell: int(flat[i]), Value: flat[i+1]})
+	}
+	return dets, nil
+}
+
+// ReplicaOutputModel returns a conservative envelope of replica r's
+// detection-list output stream.
+func (cfg RadarConfig) ReplicaOutputModel(r int) rtc.PJD {
+	tokB := 8 * cfg.Window
+	j := cfg.Producer.Jitter +
+		cfg.MF.maxLatencyUs(r, tokB) +
+		cfg.Env.maxLatencyUs(r, tokB) +
+		cfg.Cfar.maxLatencyUs(r, tokB) +
+		5_000
+	return rtc.PJD{Period: cfg.Producer.Period, Jitter: j}
+}
+
+// ReplicaInputModel returns a conservative envelope of replica r's
+// consumption from the replicator.
+func (cfg RadarConfig) ReplicaInputModel(r int) rtc.PJD {
+	j := cfg.Producer.Jitter + cfg.MF.maxLatencyUs(r, 8*cfg.Window) + 5_000
+	return rtc.PJD{Period: cfg.Producer.Period, Jitter: j}
+}

@@ -1,0 +1,21 @@
+package adpcm
+
+import "testing"
+
+// FuzzDecodeBlock hardens the decoder against corrupt blocks.
+func FuzzDecodeBlock(f *testing.F) {
+	good, err := EncodeBlock(sine(64, 440, 48000, 10000))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 88, 0, 0xFF})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if samples, err := DecodeBlock(data); err == nil {
+			if want := (len(data) - HeaderBytes) * 2; len(samples) != want {
+				t.Fatalf("decoded %d samples from %d data bytes", len(samples), want)
+			}
+		}
+	})
+}

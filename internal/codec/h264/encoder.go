@@ -1,0 +1,264 @@
+package h264
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Intra prediction modes for 4×4 luma blocks.
+const (
+	modeVertical   = 0 // copy the row above
+	modeHorizontal = 1 // copy the column left
+	modeDC         = 2 // mean of available neighbours
+	numModes       = 3
+)
+
+// magic identifies this package's frame bitstream.
+var magic = [4]byte{'F', '2', '6', '4'}
+
+// headerBytes: magic, width, height, qp.
+const headerBytes = 4 + 2 + 2 + 1
+
+// MaxQP is the largest supported quantization parameter (as in H.264).
+const MaxQP = 51
+
+// Encode compresses an 8-bit grayscale frame as an intra-only picture at
+// the given QP (0..51). Dimensions must be multiples of 4.
+func Encode(pix []byte, w, h, qp int) ([]byte, error) {
+	if w <= 0 || h <= 0 || w%4 != 0 || h%4 != 0 {
+		return nil, fmt.Errorf("h264: frame size %dx%d not a positive multiple of 4", w, h)
+	}
+	if len(pix) != w*h {
+		return nil, fmt.Errorf("h264: pixel buffer length %d != %d", len(pix), w*h)
+	}
+	if qp < 0 || qp > MaxQP {
+		return nil, fmt.Errorf("h264: QP %d outside [0,%d]", qp, MaxQP)
+	}
+	hdr := make([]byte, headerBytes)
+	copy(hdr, magic[:])
+	binary.BigEndian.PutUint16(hdr[4:6], uint16(w))
+	binary.BigEndian.PutUint16(hdr[6:8], uint16(h))
+	hdr[8] = byte(qp)
+
+	bw := &bitWriter{buf: make([]byte, 0, w*h/8)}
+	recon := make([]byte, w*h) // reconstruction loop, as a real encoder
+	var pred, residual [16]int32
+
+	for by := 0; by < h; by += 4 {
+		for bx := 0; bx < w; bx += 4 {
+			mode := chooseMode(pix, recon, w, h, bx, by)
+			predict(recon, w, h, bx, by, mode, &pred)
+			for y := 0; y < 4; y++ {
+				for x := 0; x < 4; x++ {
+					residual[y*4+x] = int32(pix[(by+y)*w+bx+x]) - pred[y*4+x]
+				}
+			}
+			forward4x4(&residual)
+			quantize(&residual, qp)
+
+			bw.writeUE(uint32(mode))
+			encodeResidual(bw, &residual)
+
+			// Reconstruct for neighbour prediction.
+			dequantize(&residual, qp)
+			inverse4x4(&residual)
+			for y := 0; y < 4; y++ {
+				for x := 0; x < 4; x++ {
+					v := residual[y*4+x] + pred[y*4+x]
+					if v < 0 {
+						v = 0
+					}
+					if v > 255 {
+						v = 255
+					}
+					recon[(by+y)*w+bx+x] = byte(v)
+				}
+			}
+		}
+	}
+	return append(hdr, bw.flush()...), nil
+}
+
+// Decode reconstructs the frame of an Encode bitstream.
+func Decode(data []byte) (pix []byte, w, h int, err error) {
+	if len(data) < headerBytes {
+		return nil, 0, 0, fmt.Errorf("h264: %d bytes shorter than header", len(data))
+	}
+	if [4]byte(data[0:4]) != magic {
+		return nil, 0, 0, fmt.Errorf("h264: bad magic %q", data[0:4])
+	}
+	w = int(binary.BigEndian.Uint16(data[4:6]))
+	h = int(binary.BigEndian.Uint16(data[6:8]))
+	qp := int(data[8])
+	if w == 0 || h == 0 || w%4 != 0 || h%4 != 0 || qp > MaxQP {
+		return nil, 0, 0, fmt.Errorf("h264: invalid header %dx%d qp=%d", w, h, qp)
+	}
+	br := &bitReader{buf: data[headerBytes:]}
+	pix = make([]byte, w*h)
+	var pred, residual [16]int32
+
+	for by := 0; by < h; by += 4 {
+		for bx := 0; bx < w; bx += 4 {
+			modeU, err := br.readUE()
+			if err != nil {
+				return nil, 0, 0, err
+			}
+			if modeU >= numModes {
+				return nil, 0, 0, fmt.Errorf("h264: invalid prediction mode %d", modeU)
+			}
+			if err := decodeResidual(br, &residual); err != nil {
+				return nil, 0, 0, err
+			}
+			predict(pix, w, h, bx, by, int(modeU), &pred)
+			dequantize(&residual, qp)
+			inverse4x4(&residual)
+			for y := 0; y < 4; y++ {
+				for x := 0; x < 4; x++ {
+					v := residual[y*4+x] + pred[y*4+x]
+					if v < 0 {
+						v = 0
+					}
+					if v > 255 {
+						v = 255
+					}
+					pix[(by+y)*w+bx+x] = byte(v)
+				}
+			}
+		}
+	}
+	return pix, w, h, nil
+}
+
+// predict fills pred with the block prediction from reconstructed
+// neighbours in recon. Unavailable neighbours default to 128, as in the
+// spec's DC fallback.
+func predict(recon []byte, w, h, bx, by, mode int, pred *[16]int32) {
+	hasTop := by > 0
+	hasLeft := bx > 0
+	top := func(x int) int32 {
+		if hasTop {
+			return int32(recon[(by-1)*w+bx+x])
+		}
+		return 128
+	}
+	left := func(y int) int32 {
+		if hasLeft {
+			return int32(recon[(by+y)*w+bx-1])
+		}
+		return 128
+	}
+	switch mode {
+	case modeVertical:
+		for y := 0; y < 4; y++ {
+			for x := 0; x < 4; x++ {
+				pred[y*4+x] = top(x)
+			}
+		}
+	case modeHorizontal:
+		for y := 0; y < 4; y++ {
+			for x := 0; x < 4; x++ {
+				pred[y*4+x] = left(y)
+			}
+		}
+	default: // DC
+		var sum, n int32
+		if hasTop {
+			for x := 0; x < 4; x++ {
+				sum += top(x)
+			}
+			n += 4
+		}
+		if hasLeft {
+			for y := 0; y < 4; y++ {
+				sum += left(y)
+			}
+			n += 4
+		}
+		dc := int32(128)
+		if n > 0 {
+			dc = (sum + n/2) / n
+		}
+		for i := range pred {
+			pred[i] = dc
+		}
+	}
+}
+
+// chooseMode picks the intra mode with the lowest SAD against the
+// source block, predicting from the reconstruction (encoder-decoder
+// agreement).
+func chooseMode(src, recon []byte, w, h, bx, by int) int {
+	best, bestSAD := modeDC, int32(1)<<30
+	var pred [16]int32
+	for mode := 0; mode < numModes; mode++ {
+		predict(recon, w, h, bx, by, mode, &pred)
+		var sad int32
+		for y := 0; y < 4; y++ {
+			for x := 0; x < 4; x++ {
+				d := int32(src[(by+y)*w+bx+x]) - pred[y*4+x]
+				if d < 0 {
+					d = -d
+				}
+				sad += d
+			}
+		}
+		if sad < bestSAD {
+			best, bestSAD = mode, sad
+		}
+	}
+	return best
+}
+
+// encodeResidual writes the zigzag-scanned levels as: total nonzero
+// count ue(v), then per nonzero coefficient (zero-run ue, level se).
+func encodeResidual(bw *bitWriter, coef *[16]int32) {
+	var nz uint32
+	for _, pos := range zigzag4 {
+		if coef[pos] != 0 {
+			nz++
+		}
+	}
+	bw.writeUE(nz)
+	run := uint32(0)
+	for _, pos := range zigzag4 {
+		if coef[pos] == 0 {
+			run++
+			continue
+		}
+		bw.writeUE(run)
+		bw.writeSE(coef[pos])
+		run = 0
+	}
+}
+
+// decodeResidual reverses encodeResidual into natural order.
+func decodeResidual(br *bitReader, coef *[16]int32) error {
+	for i := range coef {
+		coef[i] = 0
+	}
+	nz, err := br.readUE()
+	if err != nil {
+		return err
+	}
+	if nz > 16 {
+		return errBitstream
+	}
+	scan := 0
+	for i := uint32(0); i < nz; i++ {
+		run, err := br.readUE()
+		if err != nil {
+			return err
+		}
+		level, err := br.readSE()
+		if err != nil {
+			return err
+		}
+		scan += int(run)
+		if scan >= 16 || level == 0 {
+			return errBitstream
+		}
+		coef[zigzag4[scan]] = level
+		scan++
+	}
+	return nil
+}

@@ -1,0 +1,21 @@
+package h264
+
+import "testing"
+
+// FuzzDecode hardens the decoder against corrupt bitstreams.
+func FuzzDecode(f *testing.F) {
+	good, err := Encode(testFrame(16, 16, 1), 16, 16, 24)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add(good[:len(good)-3])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if pix, w, h, err := Decode(data); err == nil {
+			if len(pix) != w*h {
+				t.Fatalf("inconsistent decode: %dx%d with %d pixels", w, h, len(pix))
+			}
+		}
+	})
+}

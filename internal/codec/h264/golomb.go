@@ -1,0 +1,133 @@
+package h264
+
+import "fmt"
+
+// Exp-Golomb coding, the entropy layer of H.264 headers and (in this
+// simplified encoder) of residual levels.
+
+// errBitstream reports truncated or corrupt input.
+var errBitstream = fmt.Errorf("h264: truncated or corrupt bitstream")
+
+// bitWriter packs bits MSB-first.
+type bitWriter struct {
+	buf  []byte
+	cur  byte
+	nCur int
+}
+
+func (w *bitWriter) writeBit(b uint32) {
+	w.cur = w.cur<<1 | byte(b&1)
+	w.nCur++
+	if w.nCur == 8 {
+		w.buf = append(w.buf, w.cur)
+		w.cur, w.nCur = 0, 0
+	}
+}
+
+func (w *bitWriter) writeBits(v uint32, n int) {
+	for i := n - 1; i >= 0; i-- {
+		w.writeBit(v >> uint(i))
+	}
+}
+
+// writeUE writes an unsigned Exp-Golomb code ue(v).
+func (w *bitWriter) writeUE(v uint32) {
+	x := v + 1
+	n := 0
+	for t := x; t > 1; t >>= 1 {
+		n++
+	}
+	for i := 0; i < n; i++ {
+		w.writeBit(0)
+	}
+	w.writeBits(x, n+1)
+}
+
+// writeSE writes a signed Exp-Golomb code se(v): v>0 → 2v-1, v<=0 → -2v.
+func (w *bitWriter) writeSE(v int32) {
+	if v > 0 {
+		w.writeUE(uint32(2*v - 1))
+	} else {
+		w.writeUE(uint32(-2 * v))
+	}
+}
+
+// flush pads with zero bits to a byte boundary (rbsp-trailing style with
+// a stop bit first).
+func (w *bitWriter) flush() []byte {
+	w.writeBit(1) // stop bit
+	for w.nCur != 0 {
+		w.writeBit(0)
+	}
+	return w.buf
+}
+
+// bitReader consumes bits MSB-first.
+type bitReader struct {
+	buf []byte
+	pos int
+	bit int
+}
+
+func (r *bitReader) readBit() (uint32, error) {
+	if r.pos >= len(r.buf) {
+		return 0, errBitstream
+	}
+	b := (r.buf[r.pos] >> uint(7-r.bit)) & 1
+	r.bit++
+	if r.bit == 8 {
+		r.bit = 0
+		r.pos++
+	}
+	return uint32(b), nil
+}
+
+func (r *bitReader) readBits(n int) (uint32, error) {
+	var v uint32
+	for i := 0; i < n; i++ {
+		b, err := r.readBit()
+		if err != nil {
+			return 0, err
+		}
+		v = v<<1 | b
+	}
+	return v, nil
+}
+
+// readUE reads ue(v).
+func (r *bitReader) readUE() (uint32, error) {
+	n := 0
+	for {
+		b, err := r.readBit()
+		if err != nil {
+			return 0, err
+		}
+		if b == 1 {
+			break
+		}
+		n++
+		if n > 31 {
+			return 0, errBitstream
+		}
+	}
+	if n == 0 {
+		return 0, nil
+	}
+	rest, err := r.readBits(n)
+	if err != nil {
+		return 0, err
+	}
+	return (1<<uint(n) | rest) - 1, nil
+}
+
+// readSE reads se(v).
+func (r *bitReader) readSE() (int32, error) {
+	u, err := r.readUE()
+	if err != nil {
+		return 0, err
+	}
+	if u%2 == 1 {
+		return int32(u/2) + 1, nil
+	}
+	return -int32(u / 2), nil
+}

@@ -1,0 +1,131 @@
+// Package h264 implements a simplified H.264/AVC intra encoder (and the
+// matching decoder used for self-checks), the paper's third benchmark
+// application. The pipeline is the real one: 4×4 intra prediction from
+// reconstructed neighbours (vertical, horizontal and DC modes), the
+// H.264 4×4 integer core transform, the standard QP-dependent
+// multiplication-factor quantizer with its periodicity of 6, and
+// Exp-Golomb entropy coding. Omitted relative to a full encoder:
+// inter prediction, CABAC/CAVLC, deblocking and chroma — none of which
+// the timing experiments depend on.
+package h264
+
+// Forward 4×4 core transform: Y = C·X·Cᵀ with
+// C = [1 1 1 1; 2 1 -1 -2; 1 -1 -1 1; 1 -2 2 -1].
+func forward4x4(x *[16]int32) {
+	var t [16]int32
+	// Rows.
+	for i := 0; i < 4; i++ {
+		a, b, c, d := x[i*4], x[i*4+1], x[i*4+2], x[i*4+3]
+		s0, s1 := a+d, b+c
+		s2, s3 := a-d, b-c
+		t[i*4] = s0 + s1
+		t[i*4+1] = 2*s2 + s3
+		t[i*4+2] = s0 - s1
+		t[i*4+3] = s2 - 2*s3
+	}
+	// Columns.
+	for i := 0; i < 4; i++ {
+		a, b, c, d := t[i], t[4+i], t[8+i], t[12+i]
+		s0, s1 := a+d, b+c
+		s2, s3 := a-d, b-c
+		x[i] = s0 + s1
+		x[4+i] = 2*s2 + s3
+		x[8+i] = s0 - s1
+		x[12+i] = s2 - 2*s3
+	}
+}
+
+// Inverse 4×4 core transform with the spec's final >>6 rounding,
+// matching forward4x4 composed with the quantizer scales below.
+func inverse4x4(x *[16]int32) {
+	var t [16]int32
+	// Rows.
+	for i := 0; i < 4; i++ {
+		a, b, c, d := x[i*4], x[i*4+1], x[i*4+2], x[i*4+3]
+		s0, s1 := a+c, a-c
+		s2, s3 := (b>>1)-d, b+(d>>1)
+		t[i*4] = s0 + s3
+		t[i*4+1] = s1 + s2
+		t[i*4+2] = s1 - s2
+		t[i*4+3] = s0 - s3
+	}
+	// Columns.
+	for i := 0; i < 4; i++ {
+		a, b, c, d := t[i], t[4+i], t[8+i], t[12+i]
+		s0, s1 := a+c, a-c
+		s2, s3 := (b>>1)-d, b+(d>>1)
+		x[i] = (s0 + s3 + 32) >> 6
+		x[4+i] = (s1 + s2 + 32) >> 6
+		x[8+i] = (s1 - s2 + 32) >> 6
+		x[12+i] = (s0 - s3 + 32) >> 6
+	}
+}
+
+// Quantizer multiplication factors MF (encode) and scales V (decode),
+// indexed by QP mod 6 and coefficient class: class 0 for positions
+// (0,0),(0,2),(2,0),(2,2); class 1 for (1,1),(1,3),(3,1),(3,3);
+// class 2 for the rest — the standard H.264 tables.
+var mf = [6][3]int32{
+	{13107, 5243, 8066},
+	{11916, 4660, 7490},
+	{10082, 4194, 6554},
+	{9362, 3647, 5825},
+	{8192, 3355, 5243},
+	{7282, 2893, 4559},
+}
+
+var vScale = [6][3]int32{
+	{10, 16, 13},
+	{11, 18, 14},
+	{13, 20, 16},
+	{14, 23, 18},
+	{16, 25, 20},
+	{18, 29, 23},
+}
+
+// coefClass maps a 4×4 position to its quantizer class.
+func coefClass(pos int) int {
+	r, c := pos/4, pos%4
+	evenR, evenC := r%2 == 0, c%2 == 0
+	switch {
+	case evenR && evenC:
+		return 0
+	case !evenR && !evenC:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// quantize maps transform coefficients to levels for the given QP.
+func quantize(x *[16]int32, qp int) {
+	per := uint(qp / 6)
+	rem := qp % 6
+	qbits := uint(15) + per
+	f := (int32(1) << qbits) / 3 // intra rounding offset f = 2^qbits/3
+	for i := 0; i < 16; i++ {
+		m := mf[rem][coefClass(i)]
+		v := x[i]
+		neg := v < 0
+		if neg {
+			v = -v
+		}
+		lv := (v*m + f) >> qbits
+		if neg {
+			lv = -lv
+		}
+		x[i] = lv
+	}
+}
+
+// dequantize maps levels back to scaled coefficients for inverse4x4.
+func dequantize(x *[16]int32, qp int) {
+	per := uint(qp / 6)
+	rem := qp % 6
+	for i := 0; i < 16; i++ {
+		x[i] = x[i] * vScale[rem][coefClass(i)] << per
+	}
+}
+
+// zigzag4 is the 4×4 zigzag scan order.
+var zigzag4 = [16]int{0, 1, 4, 8, 5, 2, 3, 6, 9, 12, 13, 10, 7, 11, 14, 15}

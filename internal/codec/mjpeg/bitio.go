@@ -1,0 +1,73 @@
+package mjpeg
+
+import "fmt"
+
+// bitWriter packs bits MSB-first into a byte slice.
+type bitWriter struct {
+	buf  []byte
+	cur  byte
+	nCur int // bits in cur
+}
+
+// writeBits appends the low n bits of v, most significant first.
+func (w *bitWriter) writeBits(v uint32, n int) {
+	for i := n - 1; i >= 0; i-- {
+		w.cur <<= 1
+		if v&(1<<uint(i)) != 0 {
+			w.cur |= 1
+		}
+		w.nCur++
+		if w.nCur == 8 {
+			w.buf = append(w.buf, w.cur)
+			w.cur, w.nCur = 0, 0
+		}
+	}
+}
+
+// flush pads the last partial byte with ones (like JPEG) and returns the
+// buffer.
+func (w *bitWriter) flush() []byte {
+	if w.nCur > 0 {
+		w.cur = w.cur<<uint(8-w.nCur) | (1<<uint(8-w.nCur) - 1)
+		w.buf = append(w.buf, w.cur)
+		w.cur, w.nCur = 0, 0
+	}
+	return w.buf
+}
+
+// bitReader consumes bits MSB-first from a byte slice.
+type bitReader struct {
+	buf []byte
+	pos int // byte position
+	bit int // bit position within buf[pos], 0 = MSB
+}
+
+// errBitstream reports truncated or corrupt input.
+var errBitstream = fmt.Errorf("mjpeg: truncated or corrupt bitstream")
+
+// readBit returns the next bit.
+func (r *bitReader) readBit() (uint32, error) {
+	if r.pos >= len(r.buf) {
+		return 0, errBitstream
+	}
+	b := (r.buf[r.pos] >> uint(7-r.bit)) & 1
+	r.bit++
+	if r.bit == 8 {
+		r.bit = 0
+		r.pos++
+	}
+	return uint32(b), nil
+}
+
+// readBits returns the next n bits MSB-first.
+func (r *bitReader) readBits(n int) (uint32, error) {
+	var v uint32
+	for i := 0; i < n; i++ {
+		b, err := r.readBit()
+		if err != nil {
+			return 0, err
+		}
+		v = v<<1 | b
+	}
+	return v, nil
+}

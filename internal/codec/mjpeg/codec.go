@@ -1,0 +1,195 @@
+package mjpeg
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// magic identifies this package's frame bitstream.
+var magic = [4]byte{'F', 'J', 'P', 'G'}
+
+// headerBytes is the encoded-frame header: magic, width, height,
+// quality.
+const headerBytes = 4 + 2 + 2 + 1
+
+// Encode compresses a frame at the given quality (1..100). The frame
+// dimensions must be multiples of 8 (the paper's 320×240 is).
+func Encode(f *Frame, quality int) ([]byte, error) {
+	if f.W%8 != 0 || f.H%8 != 0 {
+		return nil, fmt.Errorf("mjpeg: frame size %dx%d not a multiple of 8", f.W, f.H)
+	}
+	if len(f.Pix) != f.W*f.H {
+		return nil, fmt.Errorf("mjpeg: pixel buffer length %d != %d", len(f.Pix), f.W*f.H)
+	}
+	if quality < 1 || quality > 100 {
+		return nil, fmt.Errorf("mjpeg: quality %d outside [1,100]", quality)
+	}
+	q := quantTable(quality)
+	w := &bitWriter{buf: make([]byte, 0, f.W*f.H/6)}
+
+	hdr := make([]byte, headerBytes)
+	copy(hdr, magic[:])
+	binary.BigEndian.PutUint16(hdr[4:6], uint16(f.W))
+	binary.BigEndian.PutUint16(hdr[6:8], uint16(f.H))
+	hdr[8] = byte(quality)
+
+	prevDC := 0
+	var block [64]float64
+	var coef [64]int
+	for by := 0; by < f.H; by += 8 {
+		for bx := 0; bx < f.W; bx += 8 {
+			// Level shift and transform.
+			for y := 0; y < 8; y++ {
+				for x := 0; x < 8; x++ {
+					block[y*8+x] = float64(f.Pix[(by+y)*f.W+bx+x]) - 128
+				}
+			}
+			fdctFast(&block)
+			for i := 0; i < 64; i++ {
+				coef[i] = int(math.Round(block[zigzag[i]] / float64(q[zigzag[i]])))
+			}
+			if err := encodeBlock(w, &coef, &prevDC); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return append(hdr, w.flush()...), nil
+}
+
+// encodeBlock entropy-codes one zigzag-ordered quantized block.
+func encodeBlock(w *bitWriter, coef *[64]int, prevDC *int) error {
+	diff := coef[0] - *prevDC
+	*prevDC = coef[0]
+	size := magnitudeCategory(diff)
+	if size > 11 {
+		return fmt.Errorf("mjpeg: DC difference %d out of range", diff)
+	}
+	if err := dcTable.encode(w, byte(size)); err != nil {
+		return err
+	}
+	encodeMagnitude(w, diff, size)
+
+	run := 0
+	for i := 1; i < 64; i++ {
+		if coef[i] == 0 {
+			run++
+			continue
+		}
+		for run > 15 {
+			if err := acTable.encode(w, symZRL); err != nil {
+				return err
+			}
+			run -= 16
+		}
+		size := magnitudeCategory(coef[i])
+		if size > 10 {
+			return fmt.Errorf("mjpeg: AC coefficient %d out of range", coef[i])
+		}
+		if err := acTable.encode(w, byte(run<<4|size)); err != nil {
+			return err
+		}
+		encodeMagnitude(w, coef[i], size)
+		run = 0
+	}
+	if run > 0 {
+		if err := acTable.encode(w, symEOB); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Decode reconstructs a frame from an Encode bitstream.
+func Decode(data []byte) (*Frame, error) {
+	if len(data) < headerBytes {
+		return nil, fmt.Errorf("mjpeg: %d bytes shorter than header", len(data))
+	}
+	if [4]byte(data[0:4]) != magic {
+		return nil, fmt.Errorf("mjpeg: bad magic %q", data[0:4])
+	}
+	w := int(binary.BigEndian.Uint16(data[4:6]))
+	h := int(binary.BigEndian.Uint16(data[6:8]))
+	quality := int(data[8])
+	if w == 0 || h == 0 || w%8 != 0 || h%8 != 0 {
+		return nil, fmt.Errorf("mjpeg: invalid dimensions %dx%d", w, h)
+	}
+	if quality < 1 || quality > 100 {
+		return nil, fmt.Errorf("mjpeg: invalid quality %d", quality)
+	}
+	q := quantTable(quality)
+	f := NewFrame(w, h)
+	r := &bitReader{buf: data[headerBytes:]}
+
+	prevDC := 0
+	var coef [64]int
+	var block [64]float64
+	for by := 0; by < h; by += 8 {
+		for bx := 0; bx < w; bx += 8 {
+			if err := decodeBlock(r, &coef, &prevDC); err != nil {
+				return nil, err
+			}
+			for i := 0; i < 64; i++ {
+				block[zigzag[i]] = float64(coef[i] * q[zigzag[i]])
+			}
+			idct(&block)
+			for y := 0; y < 8; y++ {
+				for x := 0; x < 8; x++ {
+					v := math.Round(block[y*8+x]) + 128
+					if v < 0 {
+						v = 0
+					}
+					if v > 255 {
+						v = 255
+					}
+					f.Pix[(by+y)*w+bx+x] = byte(v)
+				}
+			}
+		}
+	}
+	return f, nil
+}
+
+// decodeBlock reverses encodeBlock into zigzag order.
+func decodeBlock(r *bitReader, coef *[64]int, prevDC *int) error {
+	for i := range coef {
+		coef[i] = 0
+	}
+	sizeSym, err := dcTable.decode(r)
+	if err != nil {
+		return err
+	}
+	diff, err := decodeMagnitude(r, int(sizeSym))
+	if err != nil {
+		return err
+	}
+	*prevDC += diff
+	coef[0] = *prevDC
+
+	i := 1
+	for i < 64 {
+		sym, err := acTable.decode(r)
+		if err != nil {
+			return err
+		}
+		if sym == symEOB {
+			break
+		}
+		if sym == symZRL {
+			i += 16
+			continue
+		}
+		run, size := int(sym>>4), int(sym&0x0F)
+		i += run
+		if i >= 64 {
+			return errBitstream
+		}
+		v, err := decodeMagnitude(r, size)
+		if err != nil {
+			return err
+		}
+		coef[i] = v
+		i++
+	}
+	return nil
+}

@@ -1,0 +1,156 @@
+package mjpeg
+
+import (
+	"math"
+	"testing"
+)
+
+// testColorFrame synthesizes a deterministic color pattern.
+func testColorFrame(w, h int, seed int64) *ColorFrame {
+	rgb := make([]byte, 3*w*h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			i := y*w + x
+			rgb[3*i] = byte((x*3 + int(seed)) % 256)
+			rgb[3*i+1] = byte((y*5 + int(seed)*7) % 256)
+			rgb[3*i+2] = byte(((x + y) * 2) % 256)
+		}
+	}
+	f, err := FromRGB(rgb, w, h)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+func TestColorFrameAllocation(t *testing.T) {
+	f := NewColorFrame(32, 16)
+	if len(f.Y) != 512 || len(f.Cb) != 128 || len(f.Cr) != 128 {
+		t.Errorf("plane sizes %d/%d/%d", len(f.Y), len(f.Cb), len(f.Cr))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("odd dimensions should panic")
+		}
+	}()
+	NewColorFrame(3, 4)
+}
+
+func TestChromaQuantTableScaling(t *testing.T) {
+	q50 := chromaQuantTable(50)
+	if q50 != baseChromaQuant {
+		t.Error("quality 50 must reproduce the base chroma table")
+	}
+	q90 := chromaQuantTable(90)
+	for i := range q90 {
+		if q90[i] > q50[i] {
+			t.Fatal("higher quality must not coarsen quantization")
+		}
+	}
+}
+
+func TestColorEncodeDecodeRoundTrip(t *testing.T) {
+	f := testColorFrame(64, 48, 3)
+	data, err := EncodeColor(f, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := DecodeColor(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.W != 64 || dec.H != 48 {
+		t.Fatalf("decoded %dx%d", dec.W, dec.H)
+	}
+	// Luma plane PSNR against the original.
+	var sum float64
+	for i := range f.Y {
+		d := float64(int(f.Y[i]) - int(dec.Y[i]))
+		sum += d * d
+	}
+	psnr := 10 * math.Log10(255*255/(sum/float64(len(f.Y))+1e-9))
+	if psnr < 28 {
+		t.Errorf("luma PSNR = %.1f dB, want >= 28", psnr)
+	}
+}
+
+func TestColorQualityTradesSize(t *testing.T) {
+	f := testColorFrame(64, 48, 9)
+	lo, err := EncodeColor(f, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := EncodeColor(f, 95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hi) <= len(lo) {
+		t.Errorf("q95 (%dB) should exceed q15 (%dB)", len(hi), len(lo))
+	}
+}
+
+func TestColorValidation(t *testing.T) {
+	f := testColorFrame(64, 48, 1)
+	if _, err := EncodeColor(f, 0); err == nil {
+		t.Error("bad quality should fail")
+	}
+	bad := &ColorFrame{W: 20, H: 20, Y: make([]byte, 400), Cb: make([]byte, 100), Cr: make([]byte, 100)}
+	if _, err := EncodeColor(bad, 50); err == nil {
+		t.Error("non-multiple-of-16 should fail")
+	}
+	short := &ColorFrame{W: 32, H: 32, Y: make([]byte, 10), Cb: make([]byte, 256), Cr: make([]byte, 256)}
+	if _, err := EncodeColor(short, 50); err == nil {
+		t.Error("inconsistent planes should fail")
+	}
+	if _, err := DecodeColor([]byte{1, 2}); err == nil {
+		t.Error("short data should fail")
+	}
+	gray, _ := Encode(TestFrame(16, 16, 0), 50)
+	if _, err := DecodeColor(gray); err == nil {
+		t.Error("grayscale magic should be rejected by DecodeColor")
+	}
+	good, _ := EncodeColor(f, 50)
+	if _, err := DecodeColor(good[:len(good)-10]); err == nil {
+		t.Error("truncated color bitstream should fail")
+	}
+}
+
+func TestRGBConversionRoundTrip(t *testing.T) {
+	// Uniform colors survive 4:2:0 and BT.601 round-trip closely.
+	w, h := 16, 16
+	for _, c := range [][3]byte{{255, 0, 0}, {0, 255, 0}, {0, 0, 255}, {128, 128, 128}, {255, 255, 255}} {
+		rgb := make([]byte, 3*w*h)
+		for i := 0; i < w*h; i++ {
+			rgb[3*i], rgb[3*i+1], rgb[3*i+2] = c[0], c[1], c[2]
+		}
+		f, err := FromRGB(rgb, w, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back := f.ToRGB()
+		for ch := 0; ch < 3; ch++ {
+			d := int(back[ch]) - int(c[ch])
+			if d < -3 || d > 3 {
+				t.Errorf("color %v channel %d: %d -> %d", c, ch, c[ch], back[ch])
+			}
+		}
+	}
+}
+
+func TestFromRGBValidation(t *testing.T) {
+	if _, err := FromRGB(make([]byte, 10), 16, 16); err == nil {
+		t.Error("wrong RGB length should fail")
+	}
+}
+
+func TestColorSmallerThanRGB(t *testing.T) {
+	f := testColorFrame(128, 64, 2)
+	data, err := EncodeColor(f, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := 3 * 128 * 64
+	if len(data) >= raw/2 {
+		t.Errorf("compressed %dB vs raw %dB: expected at least 2:1", len(data), raw)
+	}
+}

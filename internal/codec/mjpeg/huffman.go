@@ -1,0 +1,246 @@
+package mjpeg
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// The entropy layer uses JPEG-style symbol alphabets:
+//
+//   - DC: the size category (0..11) of the DPCM difference, followed by
+//     that many magnitude bits.
+//   - AC: EOB (0x00), ZRL (0xF0, a run of 16 zeros) and (run<<4 | size)
+//     for runs 0..15 and sizes 1..10, followed by magnitude bits.
+//
+// Codes are canonical Huffman codes built deterministically at init from
+// a fixed frequency prior (shorter codes for the symbols that dominate
+// typical quantized DCT data). The bitstream therefore needs no embedded
+// tables.
+
+const (
+	symEOB = 0x00
+	symZRL = 0xF0
+)
+
+// huffCode is one symbol's code.
+type huffCode struct {
+	bits uint32
+	n    uint8
+}
+
+// huffTable is a canonical Huffman code over a byte alphabet: encode
+// lookup plus a decode tree.
+type huffTable struct {
+	codes map[byte]huffCode
+	root  *huffNode
+}
+
+type huffNode struct {
+	child [2]*huffNode
+	sym   byte
+	leaf  bool
+}
+
+// buildItem is a heap entry during Huffman construction.
+type buildItem struct {
+	weight int64
+	order  int // deterministic tie-break: insertion order
+	node   *huffNode
+}
+
+type buildHeap []buildItem
+
+func (h buildHeap) Len() int { return len(h) }
+func (h buildHeap) Less(i, j int) bool {
+	if h[i].weight != h[j].weight {
+		return h[i].weight < h[j].weight
+	}
+	return h[i].order < h[j].order
+}
+func (h buildHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *buildHeap) Push(x any)   { *h = append(*h, x.(buildItem)) }
+func (h *buildHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// newHuffTable builds a deterministic canonical Huffman code for the
+// given symbol weights (all symbols present in the map are codable).
+func newHuffTable(weights map[byte]int64) *huffTable {
+	syms := make([]byte, 0, len(weights))
+	for s := range weights {
+		syms = append(syms, s)
+	}
+	sort.Slice(syms, func(i, j int) bool { return syms[i] < syms[j] })
+
+	// Build the Huffman tree to get code lengths.
+	h := make(buildHeap, 0, len(syms))
+	order := 0
+	for _, s := range syms {
+		h = append(h, buildItem{weight: weights[s], order: order, node: &huffNode{sym: s, leaf: true}})
+		order++
+	}
+	heap.Init(&h)
+	for h.Len() > 1 {
+		a := heap.Pop(&h).(buildItem)
+		b := heap.Pop(&h).(buildItem)
+		heap.Push(&h, buildItem{
+			weight: a.weight + b.weight,
+			order:  order,
+			node:   &huffNode{child: [2]*huffNode{a.node, b.node}},
+		})
+		order++
+	}
+	lengths := make(map[byte]int)
+	var walk func(n *huffNode, depth int)
+	walk = func(n *huffNode, depth int) {
+		if n.leaf {
+			if depth == 0 {
+				depth = 1 // single-symbol alphabet still needs one bit
+			}
+			lengths[n.sym] = depth
+			return
+		}
+		walk(n.child[0], depth+1)
+		walk(n.child[1], depth+1)
+	}
+	walk(h[0].node, 0)
+
+	// Canonicalize: sort by (length, symbol) and assign sequential codes.
+	sort.Slice(syms, func(i, j int) bool {
+		if lengths[syms[i]] != lengths[syms[j]] {
+			return lengths[syms[i]] < lengths[syms[j]]
+		}
+		return syms[i] < syms[j]
+	})
+	t := &huffTable{codes: make(map[byte]huffCode, len(syms)), root: &huffNode{}}
+	code := uint32(0)
+	prevLen := 0
+	for _, s := range syms {
+		l := lengths[s]
+		code <<= uint(l - prevLen)
+		prevLen = l
+		t.codes[s] = huffCode{bits: code, n: uint8(l)}
+		t.insert(code, l, s)
+		code++
+	}
+	return t
+}
+
+// insert adds a code to the decode tree.
+func (t *huffTable) insert(code uint32, n int, sym byte) {
+	node := t.root
+	for i := n - 1; i >= 0; i-- {
+		b := (code >> uint(i)) & 1
+		if node.child[b] == nil {
+			node.child[b] = &huffNode{}
+		}
+		node = node.child[b]
+	}
+	node.sym = sym
+	node.leaf = true
+}
+
+// encode writes the symbol's code.
+func (t *huffTable) encode(w *bitWriter, sym byte) error {
+	c, ok := t.codes[sym]
+	if !ok {
+		return fmt.Errorf("mjpeg: symbol %#x not in Huffman alphabet", sym)
+	}
+	w.writeBits(c.bits, int(c.n))
+	return nil
+}
+
+// decode walks the tree bit by bit.
+func (t *huffTable) decode(r *bitReader) (byte, error) {
+	node := t.root
+	for !node.leaf {
+		b, err := r.readBit()
+		if err != nil {
+			return 0, err
+		}
+		node = node.child[b]
+		if node == nil {
+			return 0, errBitstream
+		}
+	}
+	return node.sym, nil
+}
+
+// dcTable and acTable are the package's fixed entropy codes.
+var (
+	dcTable *huffTable
+	acTable *huffTable
+)
+
+func init() {
+	// DC size categories: small differences dominate.
+	dcW := make(map[byte]int64)
+	for s := 0; s <= 11; s++ {
+		dcW[byte(s)] = int64(1) << uint(14-s)
+	}
+	dcTable = newHuffTable(dcW)
+
+	// AC (run, size): EOB and short runs with small sizes dominate.
+	acW := make(map[byte]int64)
+	acW[symEOB] = 1 << 20
+	acW[symZRL] = 1 << 10
+	for run := 0; run <= 15; run++ {
+		for size := 1; size <= 10; size++ {
+			w := int64(1) << uint(18-size)
+			w >>= uint(run) // longer runs are rarer
+			if w < 1 {
+				w = 1
+			}
+			acW[byte(run<<4|size)] = w
+		}
+	}
+	acTable = newHuffTable(acW)
+}
+
+// magnitudeCategory returns the JPEG size category of v: the number of
+// bits needed for |v|.
+func magnitudeCategory(v int) int {
+	if v < 0 {
+		v = -v
+	}
+	n := 0
+	for v > 0 {
+		n++
+		v >>= 1
+	}
+	return n
+}
+
+// encodeMagnitude writes v's JPEG-style magnitude bits: positive values
+// as-is, negative values one's-complemented in `size` bits.
+func encodeMagnitude(w *bitWriter, v, size int) {
+	if size == 0 {
+		return
+	}
+	u := v
+	if v < 0 {
+		u = v + (1 << uint(size)) - 1
+	}
+	w.writeBits(uint32(u), size)
+}
+
+// decodeMagnitude reads size magnitude bits back into a signed value.
+func decodeMagnitude(r *bitReader, size int) (int, error) {
+	if size == 0 {
+		return 0, nil
+	}
+	u, err := r.readBits(size)
+	if err != nil {
+		return 0, err
+	}
+	v := int(u)
+	if v < 1<<uint(size-1) {
+		v -= (1 << uint(size)) - 1
+	}
+	return v, nil
+}

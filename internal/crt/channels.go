@@ -1,0 +1,291 @@
+package crt
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Fault is a detection event from a concurrent channel.
+type Fault struct {
+	Channel string
+	Replica int // 1-based
+	At      time.Duration
+	Reason  string
+}
+
+// String implements fmt.Stringer.
+func (f Fault) String() string {
+	return fmt.Sprintf("%s: replica R%d faulty at %v (%s)", f.Channel, f.Replica, f.At, f.Reason)
+}
+
+// FaultHandler receives detections; it is called with the channel lock
+// released.
+type FaultHandler func(Fault)
+
+// Replicator is the concurrent two-queue replicator with queue-full
+// fault detection (§3.3), safe for one writer and two reader
+// goroutines.
+type Replicator struct {
+	mu       sync.Mutex
+	notEmpty [2]*sync.Cond
+	clock    Clock
+	name     string
+	caps     [2]int
+	queues   [2][]Token
+	faulty   [2]bool
+	faultAt  [2]time.Duration
+	closed   bool
+	handler  FaultHandler
+	lost     int64
+}
+
+// NewReplicator builds a concurrent replicator.
+func NewReplicator(clock Clock, name string, caps [2]int, handler FaultHandler) *Replicator {
+	if caps[0] <= 0 || caps[1] <= 0 {
+		panic(fmt.Sprintf("crt: replicator %q capacities must be positive, got %v", name, caps))
+	}
+	r := &Replicator{clock: clock, name: name, caps: caps, handler: handler}
+	r.notEmpty[0] = sync.NewCond(&r.mu)
+	r.notEmpty[1] = sync.NewCond(&r.mu)
+	return r
+}
+
+// Write duplicates the token into every healthy queue; a full queue
+// convicts its replica and the producer never blocks. Returns false
+// after Close.
+func (r *Replicator) Write(tok Token) bool {
+	var fire []Fault
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return false
+	}
+	delivered := false
+	for i := 0; i < 2; i++ {
+		if r.faulty[i] {
+			continue
+		}
+		if len(r.queues[i]) >= r.caps[i] {
+			r.faulty[i] = true
+			r.faultAt[i] = r.clock.Now()
+			fire = append(fire, Fault{Channel: r.name, Replica: i + 1, At: r.faultAt[i], Reason: "queue-full"})
+			continue
+		}
+		r.queues[i] = append(r.queues[i], tok)
+		r.notEmpty[i].Signal()
+		delivered = true
+	}
+	if !delivered {
+		r.lost++
+	}
+	r.mu.Unlock()
+	for _, f := range fire {
+		if r.handler != nil {
+			r.handler(f)
+		}
+	}
+	return true
+}
+
+// Read blocks until replica's queue (1-based) has a token; ok is false
+// once the replicator is closed and drained.
+func (r *Replicator) Read(replica int) (Token, bool) {
+	i := replica - 1
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for len(r.queues[i]) == 0 && !r.closed {
+		r.notEmpty[i].Wait()
+	}
+	if len(r.queues[i]) == 0 {
+		return Token{}, false
+	}
+	tok := r.queues[i][0]
+	copy(r.queues[i], r.queues[i][1:])
+	r.queues[i] = r.queues[i][:len(r.queues[i])-1]
+	return tok, true
+}
+
+// Close wakes all blocked readers.
+func (r *Replicator) Close() {
+	r.mu.Lock()
+	r.closed = true
+	r.mu.Unlock()
+	r.notEmpty[0].Broadcast()
+	r.notEmpty[1].Broadcast()
+}
+
+// Faulty reports replica's (1-based) conviction.
+func (r *Replicator) Faulty(replica int) (bool, time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.faulty[replica-1], r.faultAt[replica-1]
+}
+
+// Lost counts tokens written while both replicas were faulty.
+func (r *Replicator) Lost() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.lost
+}
+
+// Selector is the concurrent selector channel: duplicate-pair
+// arbitration, per-interface space accounting, divergence and
+// consumer-stall detection, safe for two writer goroutines and one
+// reader.
+type Selector struct {
+	mu       sync.Mutex
+	notEmpty *sync.Cond
+	notFull  [2]*sync.Cond
+	clock    Clock
+	name     string
+	caps     [2]int
+	space    [2]int64
+	wcnt     [2]int64
+	drops    [2]int64
+	fifo     []Token
+	faulty   [2]bool
+	faultAt  [2]time.Duration
+	reasons  [2]string
+	closed   bool
+	handler  FaultHandler
+	maxFill  int
+	divThres int64
+}
+
+// NewSelector builds a concurrent selector with capacities, initial
+// fills and the eq. 5 divergence threshold d (0 disables).
+func NewSelector(clock Clock, name string, caps, inits [2]int, d int64, handler FaultHandler) *Selector {
+	if caps[0] <= 0 || caps[1] <= 0 {
+		panic(fmt.Sprintf("crt: selector %q capacities must be positive, got %v", name, caps))
+	}
+	for i := 0; i < 2; i++ {
+		if inits[i] < 0 || inits[i] > caps[i] {
+			panic(fmt.Sprintf("crt: selector %q init %d outside [0,%d]", name, inits[i], caps[i]))
+		}
+	}
+	s := &Selector{clock: clock, name: name, caps: caps, handler: handler, divThres: d}
+	s.notEmpty = sync.NewCond(&s.mu)
+	s.notFull[0] = sync.NewCond(&s.mu)
+	s.notFull[1] = sync.NewCond(&s.mu)
+	nPre := inits[0]
+	if inits[1] > nPre {
+		nPre = inits[1]
+	}
+	for i := 0; i < nPre; i++ {
+		s.fifo = append(s.fifo, Token{Seq: int64(i) - int64(nPre) + 1})
+	}
+	s.maxFill = nPre
+	for i := 0; i < 2; i++ {
+		// Initial credits affect only space; pairing and divergence use
+		// actual write counts (see ft.Selector for why).
+		s.space[i] = int64(caps[i] - inits[i])
+	}
+	return s
+}
+
+// Write submits replica's (1-based) next token, blocking on the
+// interface's own space only (Lemma 1). Returns false after Close.
+func (s *Selector) Write(replica int, tok Token) bool {
+	i := replica - 1
+	other := 1 - i
+	var fire []Fault
+	s.mu.Lock()
+	for s.space[i] == 0 && !s.closed {
+		s.notFull[i].Wait()
+	}
+	if s.closed {
+		s.mu.Unlock()
+		return false
+	}
+	if s.wcnt[i] >= s.wcnt[other] {
+		s.fifo = append(s.fifo, tok)
+		if len(s.fifo) > s.maxFill {
+			s.maxFill = len(s.fifo)
+		}
+		s.notEmpty.Signal()
+	} else {
+		s.drops[i]++
+	}
+	s.wcnt[i]++
+	s.space[i]--
+	if s.divThres > 0 && !s.faulty[other] && s.wcnt[i]-s.wcnt[other] >= s.divThres {
+		s.faulty[other] = true
+		s.faultAt[other] = s.clock.Now()
+		s.reasons[other] = "divergence"
+		fire = append(fire, Fault{Channel: s.name, Replica: other + 1, At: s.faultAt[other], Reason: "divergence"})
+	}
+	s.mu.Unlock()
+	for _, f := range fire {
+		if s.handler != nil {
+			s.handler(f)
+		}
+	}
+	return true
+}
+
+// Read blocks until a token is queued; ok is false once the selector is
+// closed and drained.
+func (s *Selector) Read() (Token, bool) {
+	var fire []Fault
+	s.mu.Lock()
+	for len(s.fifo) == 0 && !s.closed {
+		s.notEmpty.Wait()
+	}
+	if len(s.fifo) == 0 {
+		s.mu.Unlock()
+		return Token{}, false
+	}
+	tok := s.fifo[0]
+	copy(s.fifo, s.fifo[1:])
+	s.fifo = s.fifo[:len(s.fifo)-1]
+	for i := 0; i < 2; i++ {
+		s.space[i]++
+		if !s.faulty[i] && s.space[i] > int64(s.caps[i]) {
+			s.faulty[i] = true
+			s.faultAt[i] = s.clock.Now()
+			s.reasons[i] = "consumer-stall"
+			fire = append(fire, Fault{Channel: s.name, Replica: i + 1, At: s.faultAt[i], Reason: "consumer-stall"})
+		}
+		s.notFull[i].Signal()
+	}
+	s.mu.Unlock()
+	for _, f := range fire {
+		if s.handler != nil {
+			s.handler(f)
+		}
+	}
+	return tok, true
+}
+
+// Close wakes everyone.
+func (s *Selector) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.notEmpty.Broadcast()
+	s.notFull[0].Broadcast()
+	s.notFull[1].Broadcast()
+}
+
+// Faulty reports replica's (1-based) conviction and reason.
+func (s *Selector) Faulty(replica int) (bool, time.Duration, string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.faulty[replica-1], s.faultAt[replica-1], s.reasons[replica-1]
+}
+
+// Drops returns replica's (1-based) discarded late duplicates; MaxFill
+// the largest queue fill observed.
+func (s *Selector) Drops(replica int) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.drops[replica-1]
+}
+
+// MaxFill returns the largest observed fill.
+func (s *Selector) MaxFill() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.maxFill
+}

@@ -1,0 +1,141 @@
+// Package crt is the concurrent runtime: the same replicator/selector
+// arbitration and counter-based fault detection as package ft, but
+// running on real goroutines and wall-clock time instead of the
+// deterministic simulation kernel. It exists to demonstrate that the
+// framework's rules are runtime-agnostic — every experiment in the
+// paper reproduction uses the des-based runtime for determinism, while
+// this package backs live demos and the DES-vs-goroutine throughput
+// benchmark.
+//
+// Concurrency discipline: every channel guards its counters with one
+// mutex and signals blocked peers through sync.Cond, mirroring the
+// blocking FIFO semantics of Section 2. All detection rules are
+// evaluated under the same lock that mutates the counters, so a
+// conviction is always consistent with the counter state that caused
+// it.
+package crt
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"ftpn/internal/kpn"
+)
+
+// Token aliases the kpn token type: payload plus sequence number; the
+// Stamp field holds wall-clock nanoseconds since the runtime's start.
+type Token = kpn.Token
+
+// Clock abstracts time so tests can run fast; WallClock is the real
+// thing.
+type Clock interface {
+	// Now returns the time since the clock's epoch.
+	Now() time.Duration
+	// Sleep blocks for about d (best effort, like any OS timer).
+	Sleep(d time.Duration)
+}
+
+// WallClock implements Clock over the host's monotonic clock.
+type WallClock struct {
+	epoch time.Time
+}
+
+// NewWallClock starts a wall clock with its epoch at the call.
+func NewWallClock() *WallClock { return &WallClock{epoch: time.Now()} }
+
+// Now implements Clock.
+func (c *WallClock) Now() time.Duration { return time.Since(c.epoch) }
+
+// Sleep implements Clock.
+func (c *WallClock) Sleep(d time.Duration) {
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// FIFO is a bounded blocking channel safe for concurrent use.
+type FIFO struct {
+	mu       sync.Mutex
+	notEmpty *sync.Cond
+	notFull  *sync.Cond
+	name     string
+	capacity int
+	q        []Token
+	closed   bool
+	maxFill  int
+}
+
+// NewFIFO creates a bounded FIFO.
+func NewFIFO(name string, capacity int) *FIFO {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("crt: FIFO %q capacity must be positive, got %d", name, capacity))
+	}
+	f := &FIFO{name: name, capacity: capacity}
+	f.notEmpty = sync.NewCond(&f.mu)
+	f.notFull = sync.NewCond(&f.mu)
+	return f
+}
+
+// Name returns the channel name.
+func (f *FIFO) Name() string { return f.name }
+
+// Write blocks while the queue is full; it reports false once the FIFO
+// is closed.
+func (f *FIFO) Write(tok Token) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for len(f.q) >= f.capacity && !f.closed {
+		f.notFull.Wait()
+	}
+	if f.closed {
+		return false
+	}
+	f.q = append(f.q, tok)
+	if len(f.q) > f.maxFill {
+		f.maxFill = len(f.q)
+	}
+	f.notEmpty.Signal()
+	return true
+}
+
+// Read blocks while the queue is empty; ok is false once the FIFO is
+// closed and drained.
+func (f *FIFO) Read() (tok Token, ok bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for len(f.q) == 0 && !f.closed {
+		f.notEmpty.Wait()
+	}
+	if len(f.q) == 0 {
+		return Token{}, false
+	}
+	tok = f.q[0]
+	copy(f.q, f.q[1:])
+	f.q = f.q[:len(f.q)-1]
+	f.notFull.Signal()
+	return tok, true
+}
+
+// Close wakes all blocked parties; writes fail afterwards, reads drain.
+func (f *FIFO) Close() {
+	f.mu.Lock()
+	f.closed = true
+	f.mu.Unlock()
+	f.notEmpty.Broadcast()
+	f.notFull.Broadcast()
+}
+
+// MaxFill returns the largest fill level observed.
+func (f *FIFO) MaxFill() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.maxFill
+}
+
+// Fill returns the current fill level.
+func (f *FIFO) Fill() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.q)
+}

@@ -1,0 +1,336 @@
+package crt
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced clock for deterministic tests.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Duration
+}
+
+func (c *fakeClock) Now() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+func (c *fakeClock) Sleep(d time.Duration) {
+	c.mu.Lock()
+	c.now += d
+	c.mu.Unlock()
+}
+
+func TestFIFOConcurrentOrder(t *testing.T) {
+	f := NewFIFO("c", 4)
+	const n = 1000
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := int64(1); i <= n; i++ {
+			want, ok := f.Read()
+			if !ok || want.Seq != i {
+				t.Errorf("read %d: got %v ok=%v", i, want.Seq, ok)
+				return
+			}
+		}
+	}()
+	for i := int64(1); i <= n; i++ {
+		if !f.Write(Token{Seq: i}) {
+			t.Fatal("write failed")
+		}
+	}
+	<-done
+	if f.MaxFill() > 4 {
+		t.Errorf("MaxFill = %d exceeds capacity", f.MaxFill())
+	}
+	if f.Fill() != 0 {
+		t.Errorf("Fill = %d, want 0", f.Fill())
+	}
+}
+
+func TestFIFOCloseUnblocks(t *testing.T) {
+	f := NewFIFO("c", 1)
+	writeOK := make(chan bool, 1)
+	go func() {
+		f.Write(Token{Seq: 1})
+		writeOK <- f.Write(Token{Seq: 2}) // full: blocks until close
+	}()
+	time.Sleep(10 * time.Millisecond)
+	f.Close()
+	if <-writeOK {
+		t.Error("blocked write must fail after close")
+	}
+	// Reads drain the remaining token, then report closed.
+	if tok, ok := f.Read(); !ok || tok.Seq != 1 {
+		t.Errorf("drain read = %v %v", tok.Seq, ok)
+	}
+	if _, ok := f.Read(); ok {
+		t.Error("read after drain on closed FIFO should report !ok")
+	}
+	if f.Name() != "c" {
+		t.Error("name accessor broken")
+	}
+}
+
+func TestFIFOBadCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic")
+		}
+	}()
+	NewFIFO("c", 0)
+}
+
+func TestReplicatorConcurrentFanOut(t *testing.T) {
+	clock := NewWallClock()
+	// The replicator convicts instead of blocking the producer (§3.3),
+	// so an unpaced producer needs queues sized for the whole burst.
+	const n = 500
+	r := NewReplicator(clock, "R", [2]int{n, n}, nil)
+	var wg sync.WaitGroup
+	errs := make(chan string, 2)
+	for rep := 1; rep <= 2; rep++ {
+		rep := rep
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := int64(1); i <= n; i++ {
+				tok, ok := r.Read(rep)
+				if !ok || tok.Seq != i {
+					errs <- "order violated"
+					return
+				}
+			}
+		}()
+	}
+	for i := int64(1); i <= n; i++ {
+		r.Write(Token{Seq: i})
+	}
+	wg.Wait()
+	select {
+	case e := <-errs:
+		t.Fatal(e)
+	default:
+	}
+	if ok, _ := r.Faulty(1); ok {
+		t.Error("healthy run convicted replica 1")
+	}
+}
+
+func TestReplicatorQueueFullConviction(t *testing.T) {
+	clock := &fakeClock{}
+	var faults []Fault
+	var mu sync.Mutex
+	r := NewReplicator(clock, "R", [2]int{2, 8}, func(f Fault) {
+		mu.Lock()
+		faults = append(faults, f)
+		mu.Unlock()
+	})
+	clock.Sleep(5 * time.Millisecond)
+	// Nobody reads queue 1: third write convicts replica 1 and never blocks.
+	done := make(chan struct{})
+	go func() {
+		for i := int64(1); i <= 5; i++ {
+			r.Write(Token{Seq: i})
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("producer blocked on a faulty replica")
+	}
+	ok, at := r.Faulty(1)
+	if !ok || at != 5*time.Millisecond {
+		t.Errorf("Faulty(1) = %v at %v", ok, at)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(faults) != 1 || faults[0].Reason != "queue-full" || faults[0].Replica != 1 {
+		t.Errorf("faults = %v", faults)
+	}
+}
+
+func TestReplicatorCloseUnblocksReader(t *testing.T) {
+	r := NewReplicator(NewWallClock(), "R", [2]int{2, 2}, nil)
+	done := make(chan bool)
+	go func() {
+		_, ok := r.Read(2)
+		done <- ok
+	}()
+	time.Sleep(5 * time.Millisecond)
+	r.Close()
+	if ok := <-done; ok {
+		t.Error("closed read should report !ok")
+	}
+	if r.Write(Token{}) {
+		t.Error("write after close should fail")
+	}
+}
+
+func TestSelectorConcurrentDedup(t *testing.T) {
+	clock := NewWallClock()
+	s := NewSelector(clock, "S", [2]int{16, 16}, [2]int{0, 0}, 0, nil)
+	const n = 400
+	var wg sync.WaitGroup
+	for rep := 1; rep <= 2; rep++ {
+		rep := rep
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := int64(1); i <= n; i++ {
+				s.Write(rep, Token{Seq: i, Payload: []byte{byte(i)}})
+			}
+		}()
+	}
+	var got int64
+	var lastSeq int64
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		for i := int64(1); i <= n; i++ {
+			tok, ok := s.Read()
+			if !ok {
+				return
+			}
+			if tok.Seq != lastSeq+1 {
+				t.Errorf("sequence gap: %d after %d", tok.Seq, lastSeq)
+				return
+			}
+			lastSeq = tok.Seq
+			atomic.AddInt64(&got, 1)
+		}
+	}()
+	wg.Wait()
+	<-readerDone
+	if got != n {
+		t.Fatalf("consumer got %d tokens, want %d", got, n)
+	}
+	if s.Drops(1)+s.Drops(2) != n {
+		t.Errorf("total drops = %d, want %d (every pair has one late copy)", s.Drops(1)+s.Drops(2), n)
+	}
+}
+
+func TestSelectorDivergenceConviction(t *testing.T) {
+	clock := &fakeClock{}
+	var fault atomic.Value
+	s := NewSelector(clock, "S", [2]int{16, 16}, [2]int{0, 0}, 3, func(f Fault) { fault.Store(f) })
+	clock.Sleep(time.Millisecond)
+	for i := int64(1); i <= 3; i++ {
+		s.Write(1, Token{Seq: i})
+	}
+	f, _ := fault.Load().(Fault)
+	if f.Replica != 2 || f.Reason != "divergence" || f.At != time.Millisecond {
+		t.Errorf("fault = %+v", f)
+	}
+	if ok, _, reason := s.Faulty(2); !ok || reason != "divergence" {
+		t.Errorf("Faulty(2) = %v %s", ok, reason)
+	}
+}
+
+func TestSelectorConsumerStallConviction(t *testing.T) {
+	s := NewSelector(NewWallClock(), "S", [2]int{2, 2}, [2]int{0, 0}, 0, nil)
+	for i := int64(1); i <= 3; i++ {
+		s.Write(1, Token{Seq: i})
+		s.Read()
+	}
+	if ok, _, reason := s.Faulty(2); !ok || reason != "consumer-stall" {
+		t.Errorf("silent replica 2 not convicted: %v %s", ok, reason)
+	}
+	if ok, _, _ := s.Faulty(1); ok {
+		t.Error("active replica 1 wrongly convicted")
+	}
+}
+
+func TestSelectorInitialTokens(t *testing.T) {
+	s := NewSelector(NewWallClock(), "S", [2]int{4, 6}, [2]int{2, 3}, 0, nil)
+	if s.MaxFill() != 3 {
+		t.Errorf("initial fill = %d, want 3", s.MaxFill())
+	}
+	for i := 0; i < 3; i++ {
+		tok, ok := s.Read()
+		if !ok || tok.Seq > 0 {
+			t.Fatalf("preloaded token %d: %v %v", i, tok.Seq, ok)
+		}
+	}
+}
+
+func TestSelectorIsolationUnderContention(t *testing.T) {
+	// Writer 2 stalls completely; writer 1 must never block as long as
+	// the consumer keeps reading (its own space is the only constraint).
+	s := NewSelector(NewWallClock(), "S", [2]int{2, 2}, [2]int{0, 0}, 0, nil)
+	done := make(chan struct{})
+	go func() {
+		for i := int64(1); i <= 100; i++ {
+			s.Write(1, Token{Seq: i})
+		}
+		close(done)
+	}()
+	go func() {
+		for {
+			if _, ok := s.Read(); !ok {
+				return
+			}
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("writer 1 blocked despite consumer progress (isolation violated)")
+	}
+	s.Close()
+}
+
+func TestSelectorCloseUnblocks(t *testing.T) {
+	s := NewSelector(NewWallClock(), "S", [2]int{1, 1}, [2]int{0, 0}, 0, nil)
+	readerOK := make(chan bool)
+	go func() {
+		_, ok := s.Read()
+		readerOK <- ok
+	}()
+	time.Sleep(5 * time.Millisecond)
+	s.Close()
+	if <-readerOK {
+		t.Error("closed empty read should report !ok")
+	}
+	if s.Write(1, Token{}) {
+		t.Error("write after close should fail")
+	}
+}
+
+func TestChannelValidationPanics(t *testing.T) {
+	clock := NewWallClock()
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: want panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("rep caps", func() { NewReplicator(clock, "R", [2]int{0, 2}, nil) })
+	mustPanic("sel caps", func() { NewSelector(clock, "S", [2]int{0, 2}, [2]int{0, 0}, 0, nil) })
+	mustPanic("sel inits", func() { NewSelector(clock, "S", [2]int{2, 2}, [2]int{3, 0}, 0, nil) })
+}
+
+func TestWallClockMonotone(t *testing.T) {
+	c := NewWallClock()
+	a := c.Now()
+	c.Sleep(time.Millisecond)
+	b := c.Now()
+	if b < a+time.Millisecond/2 {
+		t.Errorf("clock did not advance: %v -> %v", a, b)
+	}
+	c.Sleep(-5) // negative sleep is a no-op
+}
+
+func TestFaultString(t *testing.T) {
+	f := Fault{Channel: "S", Replica: 1, At: 2 * time.Millisecond, Reason: "divergence"}
+	if f.String() != "S: replica R1 faulty at 2ms (divergence)" {
+		t.Errorf("String = %q", f.String())
+	}
+}

@@ -1,0 +1,209 @@
+// Package des is a deterministic discrete-event simulation kernel with
+// cooperative goroutine processes. It provides the virtual-time substrate
+// on which the SCC platform model and the Kahn-process-network runtime
+// execute: processes advance a shared virtual clock by sleeping
+// (Proc.Delay) and blocking on conditions (Proc.Block), and the kernel
+// resumes exactly one process at a time, ordered by (time, sequence
+// number), so every run of the same program is bit-identical.
+//
+// Time is in ticks; one tick is one microsecond of virtual time
+// throughout this repository.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+)
+
+// Time is an instant or duration of virtual time in ticks (microseconds).
+type Time = int64
+
+// event is a scheduled kernel action: resume a process or run a callback.
+type event struct {
+	at   Time
+	seq  uint64 // tie-breaker: FIFO among events at the same instant
+	proc *Proc  // non-nil: resume this process
+	fn   func() // non-nil: run this callback in kernel context
+}
+
+// eventHeap orders events by (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel is a discrete-event simulator. The zero value is not usable;
+// create kernels with NewKernel.
+type Kernel struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	procs   []*Proc
+	running *Proc // the process currently executing, nil in kernel context
+	stopped bool
+	panicV  any // re-thrown panic from a process
+
+	tracer func(TraceEvent)
+}
+
+// TraceEvent describes one scheduler action, for debugging simulations.
+type TraceEvent struct {
+	At   Time
+	Kind string // "resume", "callback", "spawn", "stop"
+	Proc string // process name, empty for kernel callbacks
+}
+
+// Trace installs a tracer invoked synchronously for every scheduler
+// action (nil disables). Tracing is for debugging: it does not alter
+// event order.
+func (k *Kernel) Trace(fn func(TraceEvent)) { k.tracer = fn }
+
+// emit reports a scheduler action to the tracer, if any.
+func (k *Kernel) emit(kind, proc string) {
+	if k.tracer != nil {
+		k.tracer(TraceEvent{At: k.now, Kind: kind, Proc: proc})
+	}
+}
+
+// NewKernel returns an empty simulator at virtual time 0.
+func NewKernel() *Kernel {
+	return &Kernel{}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// At schedules fn to run in kernel context at virtual time t (clamped to
+// the current time if t is in the past). Use it for fault injection,
+// pollers and other environment actions that are not processes.
+func (k *Kernel) At(t Time, fn func()) {
+	if t < k.now {
+		t = k.now
+	}
+	k.push(&event{at: t, fn: fn})
+}
+
+// After schedules fn to run d ticks from now.
+func (k *Kernel) After(d Time, fn func()) { k.At(k.now+d, fn) }
+
+// Every schedules fn to run every period ticks, starting at now+period,
+// until the simulation ends or fn returns false.
+func (k *Kernel) Every(period Time, fn func() bool) {
+	if period <= 0 {
+		panic(fmt.Sprintf("des: Every period must be positive, got %d", period))
+	}
+	var tick func()
+	tick = func() {
+		if k.stopped {
+			return
+		}
+		if fn() {
+			k.After(period, tick)
+		}
+	}
+	k.After(period, tick)
+}
+
+// Stop ends the simulation: Run returns once the currently executing
+// process yields. Pending events are discarded.
+func (k *Kernel) Stop() {
+	k.stopped = true
+	k.emit("stop", "")
+}
+
+// Stopped reports whether Stop has been called.
+func (k *Kernel) Stopped() bool { return k.stopped }
+
+func (k *Kernel) push(e *event) {
+	e.seq = k.seq
+	k.seq++
+	heap.Push(&k.events, e)
+}
+
+// Run executes the simulation until no events remain, the virtual clock
+// would pass `until` (use a non-positive value for "no limit"), or Stop
+// is called. It returns the virtual time at which the simulation settled.
+// A panic inside any process is re-thrown from Run.
+func (k *Kernel) Run(until Time) Time {
+	for !k.stopped && len(k.events) > 0 {
+		e := heap.Pop(&k.events).(*event)
+		if until > 0 && e.at > until {
+			k.now = until
+			// The event is not consumed; push it back for a later Run call.
+			heap.Push(&k.events, e)
+			return k.now
+		}
+		k.now = e.at
+		if e.fn != nil {
+			k.emit("callback", "")
+			e.fn()
+		} else if e.proc != nil && e.proc.state != stateDone {
+			k.emit("resume", e.proc.name)
+			k.resume(e.proc)
+		}
+		if k.panicV != nil {
+			v := k.panicV
+			k.panicV = nil
+			panic(v)
+		}
+	}
+	return k.now
+}
+
+// resume hands control to p and waits for it to yield, block or finish.
+func (k *Kernel) resume(p *Proc) {
+	k.running = p
+	p.state = stateRunning
+	p.resume <- struct{}{}
+	<-p.yielded
+	k.running = nil
+}
+
+// Blocked returns the names of processes that are blocked on a Signal,
+// sorted for reproducible diagnostics. After Run returns, a non-empty
+// result with no pending events indicates processes permanently stalled
+// (e.g. consumers starved after a finite workload drained).
+func (k *Kernel) Blocked() []string {
+	var names []string
+	for _, p := range k.procs {
+		if p.state == stateBlocked {
+			names = append(names, p.name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// NumProcs returns the number of processes ever spawned on the kernel.
+func (k *Kernel) NumProcs() int { return len(k.procs) }
+
+// Shutdown terminates all process goroutines that have not finished,
+// unwinding their stacks. Call it once after the final Run to avoid
+// leaking goroutines; the kernel must not be used afterwards.
+func (k *Kernel) Shutdown() {
+	k.stopped = true
+	for _, p := range k.procs {
+		if p.state == stateDone {
+			continue
+		}
+		p.killed = true
+		p.resume <- struct{}{}
+		<-p.yielded
+	}
+}

@@ -1,0 +1,128 @@
+package des
+
+import "fmt"
+
+// procState tracks where a process is in its lifecycle.
+type procState int
+
+const (
+	stateReady   procState = iota // scheduled to run
+	stateRunning                  // currently executing
+	stateBlocked                  // waiting on a Signal
+	stateDone                     // body returned
+)
+
+// Proc is a simulated process: a goroutine that advances virtual time by
+// calling Delay and synchronizes with other processes via Signals and the
+// structures built on them. All Proc methods must be called from the
+// process's own body function.
+type Proc struct {
+	k       *Kernel
+	name    string
+	state   procState
+	killed  bool
+	resume  chan struct{}
+	yielded chan struct{}
+}
+
+// errKilled is the sentinel used by Kernel.Shutdown to unwind process
+// goroutines that are still alive when the simulation is torn down.
+type errKilled struct{}
+
+// Spawn creates a process that starts executing body at virtual time
+// now+startDelay. The body runs in its own goroutine but strictly
+// interleaved with all other processes under kernel control.
+func (k *Kernel) Spawn(name string, startDelay Time, body func(p *Proc)) *Proc {
+	if startDelay < 0 {
+		panic(fmt.Sprintf("des: negative start delay %d for process %q", startDelay, name))
+	}
+	p := &Proc{
+		k:       k,
+		name:    name,
+		state:   stateReady,
+		resume:  make(chan struct{}),
+		yielded: make(chan struct{}),
+	}
+	k.procs = append(k.procs, p)
+	k.emit("spawn", name)
+	go func() {
+		<-p.resume
+		if p.killed {
+			p.state = stateDone
+			p.yielded <- struct{}{}
+			return
+		}
+		defer func() {
+			if v := recover(); v != nil {
+				if _, ok := v.(errKilled); !ok {
+					k.panicV = fmt.Errorf("des: process %q panicked: %v", name, v)
+				}
+			}
+			p.state = stateDone
+			p.yielded <- struct{}{}
+		}()
+		body(p)
+	}()
+	k.push(&event{at: k.now + startDelay, proc: p})
+	return p
+}
+
+// Name returns the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.k.Now() }
+
+// Kernel returns the kernel the process runs on.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Delay suspends the process for d ticks of virtual time. A non-positive
+// d yields the processor without advancing time (the process is
+// re-scheduled at the current instant, after already-pending events).
+func (p *Proc) Delay(d Time) {
+	if d < 0 {
+		d = 0
+	}
+	p.k.push(&event{at: p.k.now + d, proc: p})
+	p.yield(stateReady)
+}
+
+// yield returns control to the kernel, recording the new state.
+func (p *Proc) yield(s procState) {
+	p.state = s
+	p.yielded <- struct{}{}
+	<-p.resume
+	if p.killed {
+		panic(errKilled{})
+	}
+	p.state = stateRunning
+}
+
+// Signal is a wait queue processes can block on. The zero value is ready
+// to use. Wakeups are FIFO and deterministic.
+type Signal struct {
+	waiters []*Proc
+}
+
+// Wait blocks the calling process until another process or a kernel
+// callback calls Broadcast (or Wake reaches it). Typical use re-checks
+// the guarded condition in a loop, as with sync.Cond.
+func (p *Proc) Wait(s *Signal) {
+	s.waiters = append(s.waiters, p)
+	p.yield(stateBlocked)
+}
+
+// Broadcast wakes all processes waiting on s at the current virtual
+// time. It is safe to call from process bodies and kernel callbacks.
+func (k *Kernel) Broadcast(s *Signal) {
+	for _, w := range s.waiters {
+		if w.state == stateBlocked {
+			w.state = stateReady
+			k.push(&event{at: k.now, proc: w})
+		}
+	}
+	s.waiters = s.waiters[:0]
+}
+
+// NumWaiters returns how many processes are currently waiting on s.
+func (s *Signal) NumWaiters() int { return len(s.waiters) }

@@ -1,0 +1,161 @@
+// Package detect implements the state-of-the-art baseline fault
+// detectors the paper compares against (§4.3): the distance-function
+// monitor of Neukirchner et al. (RTSS 2012), restricted to l-repetitive
+// distance functions and modified for the fail-silent fault model, and a
+// simple watchdog. Unlike the paper's counter-based framework, both
+// baselines need runtime timekeeping: they poll a timer and compare the
+// current time against observed event timestamps.
+package detect
+
+import (
+	"fmt"
+
+	"ftpn/internal/des"
+	"ftpn/internal/kpn"
+	"ftpn/internal/rtc"
+)
+
+// Handler receives a fault-detection event.
+type Handler func(name string, at des.Time)
+
+// DistanceMonitor checks a token stream against an l-repetitive
+// maximum-distance function: the time spanned by the last n consecutive
+// events (n <= l) must never exceed Bounds[n-1], or — under the
+// fail-silent model — the stream has stopped and the monitored replica
+// is faulty. The check runs on a polling timer of period PollUs, which
+// is where the baseline's detection-latency penalty comes from
+// (the paper's §4.3 discussion uses a 1 ms poll).
+type DistanceMonitor struct {
+	k      *des.Kernel
+	name   string
+	pollUs des.Time
+	bounds []des.Time // bounds[n-1]: max distance spanning n gaps
+	hist   []des.Time // timestamps of the last l events, oldest first
+	events int64
+
+	faulty  bool
+	faultAt des.Time
+	handler Handler
+	started bool
+}
+
+// NewDistanceMonitor builds a monitor with an l-repetitive bound vector:
+// bounds[n-1] is the maximum allowed distance between an event and the
+// n-th event before it. pollUs is the timer period.
+func NewDistanceMonitor(k *des.Kernel, name string, pollUs des.Time, bounds []des.Time, handler Handler) *DistanceMonitor {
+	if pollUs <= 0 {
+		panic(fmt.Sprintf("detect: poll period must be positive, got %d", pollUs))
+	}
+	if len(bounds) == 0 {
+		panic("detect: at least one distance bound (l >= 1) required")
+	}
+	for i, b := range bounds {
+		if b <= 0 {
+			panic(fmt.Sprintf("detect: bound[%d] must be positive, got %d", i, b))
+		}
+	}
+	return &DistanceMonitor{
+		k: k, name: name, pollUs: pollUs,
+		bounds:  append([]des.Time(nil), bounds...),
+		handler: handler,
+	}
+}
+
+// BoundsFromPJD derives the l-repetitive maximum-distance bounds implied
+// by a PJD event model: n consecutive inter-event gaps span at most
+// n*period + jitter.
+func BoundsFromPJD(m rtc.PJD, l int) []des.Time {
+	if l < 1 {
+		l = 1
+	}
+	bounds := make([]des.Time, l)
+	for n := 1; n <= l; n++ {
+		bounds[n-1] = des.Time(n)*m.Period + m.Jitter
+	}
+	return bounds
+}
+
+// Start arms the polling timer. The monitor treats its own start instant
+// as a virtual first event so that a stream that never starts is also
+// detected.
+func (m *DistanceMonitor) Start() {
+	if m.started {
+		return
+	}
+	m.started = true
+	m.hist = append(m.hist, m.k.Now())
+	m.k.Every(m.pollUs, func() bool {
+		m.poll()
+		return !m.faulty
+	})
+}
+
+// OnEvent records an observed stream event (token production or
+// consumption, depending on what the monitor is attached to).
+func (m *DistanceMonitor) OnEvent(now des.Time) {
+	m.hist = append(m.hist, now)
+	if len(m.hist) > len(m.bounds) {
+		m.hist = m.hist[len(m.hist)-len(m.bounds):]
+	}
+	m.events++
+}
+
+// poll is the timer body: the fail-silent check asks whether the
+// distance from the n-th most recent event to now exceeds bound[n-1].
+func (m *DistanceMonitor) poll() {
+	if m.faulty {
+		return
+	}
+	now := m.k.Now()
+	for n := 1; n <= len(m.hist); n++ {
+		ref := m.hist[len(m.hist)-n]
+		if now-ref > m.bounds[n-1] {
+			m.faulty = true
+			m.faultAt = now
+			if m.handler != nil {
+				m.handler(m.name, now)
+			}
+			return
+		}
+	}
+}
+
+// Faulty reports the detection state.
+func (m *DistanceMonitor) Faulty() (bool, des.Time) { return m.faulty, m.faultAt }
+
+// Events returns how many stream events the monitor has observed.
+func (m *DistanceMonitor) Events() int64 { return m.events }
+
+// Watchdog is the simplest baseline: a single timeout since the last
+// event, checked on a polling timer. Only appropriate for strictly
+// periodic streams (§1: "simple approaches are not effective for ...
+// bursty timing characteristics") — it is here to quantify exactly that.
+type Watchdog struct {
+	*DistanceMonitor
+}
+
+// NewWatchdog builds a watchdog with the given timeout and poll period.
+func NewWatchdog(k *des.Kernel, name string, timeoutUs, pollUs des.Time, handler Handler) *Watchdog {
+	return &Watchdog{NewDistanceMonitor(k, name, pollUs, []des.Time{timeoutUs}, handler)}
+}
+
+// readTap adapts a monitor to kpn.Observer, counting read events.
+type readTap struct{ m *DistanceMonitor }
+
+func (t readTap) OnWrite(now des.Time, tok kpn.Token, fill int) {}
+func (t readTap) OnRead(now des.Time, tok kpn.Token, fill int)  { t.m.OnEvent(now) }
+
+// writeTap adapts a monitor to kpn.Observer, counting write events.
+type writeTap struct{ m *DistanceMonitor }
+
+func (t writeTap) OnWrite(now des.Time, tok kpn.Token, fill int) { t.m.OnEvent(now) }
+func (t writeTap) OnRead(now des.Time, tok kpn.Token, fill int)  {}
+
+// ObserveReads attaches the monitor to a FIFO's read events (e.g. a
+// replica's consumption from its input queue, the replicator-side
+// monitoring point of Table 3).
+func ObserveReads(f *kpn.FIFO, m *DistanceMonitor) { f.Observe(readTap{m}) }
+
+// ObserveWrites attaches the monitor to a FIFO's write events (e.g. a
+// replica's production into the consumer-side queue).
+func ObserveWrites(f *kpn.FIFO, m *DistanceMonitor) { f.Observe(writeTap{m}) }

@@ -1,0 +1,193 @@
+// Package dsp provides the signal-processing kernels of the radar
+// application (the streaming-application domain the paper's
+// introduction motivates): linear-FM chirp synthesis, matched filtering
+// by FIR correlation, envelope extraction and cell-averaging CFAR
+// detection. Everything is deterministic float64 math so radar process
+// networks are determinate, as the framework requires.
+package dsp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Chirp synthesizes a linear-FM pulse of n samples sweeping from f0 to
+// f1 (as fractions of the sample rate, 0 < f < 0.5).
+func Chirp(n int, f0, f1 float64) ([]float64, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("dsp: chirp length must be positive, got %d", n)
+	}
+	if f0 <= 0 || f1 <= 0 || f0 >= 0.5 || f1 >= 0.5 {
+		return nil, fmt.Errorf("dsp: chirp frequencies must be in (0, 0.5), got %g..%g", f0, f1)
+	}
+	out := make([]float64, n)
+	phase := 0.0
+	for i := 0; i < n; i++ {
+		frac := float64(i) / float64(n)
+		f := f0 + (f1-f0)*frac
+		phase += 2 * math.Pi * f
+		out[i] = math.Sin(phase)
+	}
+	return out, nil
+}
+
+// FIR filters x with coefficient vector h (direct-form convolution,
+// output length = len(x)).
+func FIR(x, h []float64) []float64 {
+	out := make([]float64, len(x))
+	for i := range x {
+		var acc float64
+		for j, c := range h {
+			if k := i - j; k >= 0 {
+				acc += c * x[k]
+			}
+		}
+		out[i] = acc
+	}
+	return out
+}
+
+// MatchedFilter correlates x against the template: an FIR with the
+// time-reversed template, the optimal detector for a known pulse in
+// white noise. The output peaks len(template)-1 samples after the pulse
+// start.
+func MatchedFilter(x, template []float64) []float64 {
+	h := make([]float64, len(template))
+	for i, v := range template {
+		h[len(template)-1-i] = v
+	}
+	return FIR(x, h)
+}
+
+// Envelope returns the magnitude envelope of x via a rectified
+// moving-maximum over a window (a cheap real-signal stand-in for the
+// analytic-signal magnitude).
+func Envelope(x []float64, window int) []float64 {
+	if window < 1 {
+		window = 1
+	}
+	out := make([]float64, len(x))
+	for i := range x {
+		m := 0.0
+		for j := i - window + 1; j <= i; j++ {
+			if j >= 0 {
+				if v := math.Abs(x[j]); v > m {
+					m = v
+				}
+			}
+		}
+		out[i] = m
+	}
+	return out
+}
+
+// Detection is one CFAR hit.
+type Detection struct {
+	Cell  int
+	Value float64
+	Noise float64
+}
+
+// CACFAR runs cell-averaging constant-false-alarm-rate detection: for
+// each cell, the noise floor is the mean of `train` cells on each side,
+// skipping `guard` cells around the cell under test; a cell exceeding
+// factor × noise is a detection.
+func CACFAR(x []float64, guard, train int, factor float64) ([]Detection, error) {
+	if guard < 0 || train < 1 {
+		return nil, fmt.Errorf("dsp: CFAR needs guard >= 0 and train >= 1, got %d/%d", guard, train)
+	}
+	if factor <= 1 {
+		return nil, fmt.Errorf("dsp: CFAR factor must exceed 1, got %g", factor)
+	}
+	var dets []Detection
+	for i := range x {
+		var sum float64
+		var n int
+		for side := -1; side <= 1; side += 2 {
+			for j := 1; j <= train; j++ {
+				k := i + side*(guard+j)
+				if k >= 0 && k < len(x) {
+					sum += x[k]
+					n++
+				}
+			}
+		}
+		if n < train { // not enough context at the edges
+			continue
+		}
+		noise := sum / float64(n)
+		if noise <= 0 {
+			noise = 1e-12
+		}
+		if x[i] > factor*noise {
+			dets = append(dets, Detection{Cell: i, Value: x[i], Noise: noise})
+		}
+	}
+	return dets, nil
+}
+
+// PeakCell returns the index of the largest sample.
+func PeakCell(x []float64) int {
+	best, bi := math.Inf(-1), -1
+	for i, v := range x {
+		if v > best {
+			best, bi = v, i
+		}
+	}
+	return bi
+}
+
+// AddEchoes returns a noisy return signal: scaled copies of the pulse
+// at the given delays plus deterministic pseudo-noise of the given
+// amplitude (seeded, so process networks stay determinate).
+func AddEchoes(n int, pulse []float64, delays []int, gains []float64, noiseAmp float64, seed int64) ([]float64, error) {
+	if len(delays) != len(gains) {
+		return nil, fmt.Errorf("dsp: %d delays vs %d gains", len(delays), len(gains))
+	}
+	out := make([]float64, n)
+	state := uint64(seed)*2654435761 + 1
+	for i := range out {
+		state = state*6364136223846793005 + 1442695040888963407
+		u := float64(state>>11) / float64(1<<53) // [0,1)
+		out[i] = noiseAmp * (2*u - 1)
+	}
+	for e, d := range delays {
+		if d < 0 || d >= n {
+			return nil, fmt.Errorf("dsp: echo delay %d outside [0,%d)", d, n)
+		}
+		for i, v := range pulse {
+			if d+i < n {
+				out[d+i] += gains[e] * v
+			}
+		}
+	}
+	return out, nil
+}
+
+// PackF64 and UnpackF64 serialize sample vectors for token payloads.
+func PackF64(x []float64) []byte {
+	out := make([]byte, 8*len(x))
+	for i, v := range x {
+		bits := math.Float64bits(v)
+		for b := 0; b < 8; b++ {
+			out[8*i+b] = byte(bits >> (8 * b))
+		}
+	}
+	return out
+}
+
+// UnpackF64 reverses PackF64.
+func UnpackF64(b []byte) ([]float64, error) {
+	if len(b)%8 != 0 {
+		return nil, fmt.Errorf("dsp: payload length %d not a multiple of 8", len(b))
+	}
+	out := make([]float64, len(b)/8)
+	for i := range out {
+		var bits uint64
+		for j := 0; j < 8; j++ {
+			bits |= uint64(b[8*i+j]) << (8 * j)
+		}
+		out[i] = math.Float64frombits(bits)
+	}
+	return out, nil
+}

@@ -1,0 +1,175 @@
+// Package exp regenerates the paper's evaluation: Table 1 (timing
+// parameters), Table 2 (analytic sizing vs observed fills, fault
+// detection latencies vs bounds, overheads, inter-frame timings) and
+// Table 3 (comparison against the distance-function monitor), plus the
+// topology figures via the kpn/ft DOT renderers. Absolute times depend
+// on the SCC timing model, so the assertions of interest are the
+// shapes: observed fill <= analytic capacity, observed latency <=
+// analytic bound, no false positives, and the counter-based framework
+// matching the distance-function baseline without any runtime timer.
+package exp
+
+import (
+	"fmt"
+
+	"ftpn/internal/apps"
+	"ftpn/internal/des"
+	"ftpn/internal/kpn"
+	"ftpn/internal/rtc"
+)
+
+// App bundles everything the harness needs to run one of the paper's
+// three applications.
+type App struct {
+	Name     string
+	Build    func(sink apps.Sink) (*kpn.Network, error)
+	Producer rtc.PJD
+	Consumer rtc.PJD
+	InModel  func(r int) rtc.PJD // replica consumption envelope
+	OutModel func(r int) rtc.PJD // replica production envelope
+	InChan   string              // replicator channel name
+	OutChan  string              // selector channel name
+	Tokens   int64               // workload length per run
+	PeriodUs des.Time
+	// Paper-scale token sizes for the memory-overhead rows.
+	InTokenBytes, OutTokenBytes int
+	// OutInit is the reference network's initial fill of the consumer
+	// FIFO.
+	OutInit int
+}
+
+// MJPEGApp builds the MJPEG-decoder application descriptor. minJitter
+// minimizes replica timing variations (the Table 3 configuration);
+// tokens overrides the workload length when positive.
+func MJPEGApp(minJitter bool, tokens int64) App {
+	cfg := apps.DefaultMJPEGConfig()
+	if minJitter {
+		cfg = minimizeMJPEG(cfg)
+	}
+	if tokens > 0 {
+		cfg.Frames = tokens
+	}
+	return App{
+		Name:     "MJPEG Decoder",
+		Build:    func(sink apps.Sink) (*kpn.Network, error) { return apps.MJPEGNetwork(cfg, sink) },
+		Producer: cfg.Producer,
+		Consumer: cfg.Consumer,
+		InModel:  cfg.ReplicaInputModel,
+		OutModel: cfg.ReplicaOutputModel,
+		InChan:   "F_in", OutChan: "F_out",
+		Tokens:       cfg.Frames,
+		PeriodUs:     cfg.Producer.Period,
+		InTokenBytes: 10 * 1024, OutTokenBytes: 76800,
+		OutInit: cfg.OutInit,
+	}
+}
+
+func minimizeMJPEG(cfg apps.MJPEGConfig) apps.MJPEGConfig {
+	cfg.Producer.Jitter = 200
+	cfg.Consumer.Jitter = 200
+	for _, st := range []*apps.StageTiming{&cfg.Split, &cfg.Dec, &cfg.Merge} {
+		st.JitterUs = [3]des.Time{100, 100, 100}
+	}
+	return cfg
+}
+
+// ADPCMApp builds the ADPCM application descriptor.
+func ADPCMApp(minJitter bool, tokens int64) App {
+	cfg := apps.DefaultADPCMConfig()
+	if tokens > 0 {
+		cfg.Blocks = tokens
+	}
+	if minJitter {
+		cfg.Producer.Jitter = 50
+		cfg.Consumer.Jitter = 50
+		cfg.Enc.JitterUs = [3]des.Time{50, 50, 50}
+		cfg.Dec.JitterUs = [3]des.Time{50, 50, 50}
+	}
+	return App{
+		Name:     "ADPCM Application",
+		Build:    func(sink apps.Sink) (*kpn.Network, error) { return apps.ADPCMNetwork(cfg, sink) },
+		Producer: cfg.Producer,
+		Consumer: cfg.Consumer,
+		InModel:  cfg.ReplicaInputModel,
+		OutModel: cfg.ReplicaOutputModel,
+		InChan:   "F_in", OutChan: "F_out",
+		Tokens:       cfg.Blocks,
+		PeriodUs:     cfg.Producer.Period,
+		InTokenBytes: 3 * 1024, OutTokenBytes: 3 * 1024,
+		OutInit: cfg.OutInit,
+	}
+}
+
+// H264App builds the H.264 encoder application descriptor.
+func H264App(minJitter bool, tokens int64) App {
+	cfg := apps.DefaultH264Config()
+	if tokens > 0 {
+		cfg.Frames = tokens
+	}
+	if minJitter {
+		cfg.Producer.Jitter = 100
+		cfg.Consumer.Jitter = 100
+		cfg.Slice.JitterUs = [3]des.Time{100, 100, 100}
+		cfg.Enc.JitterUs = [3]des.Time{100, 100, 100}
+		cfg.Mux.JitterUs = [3]des.Time{100, 100, 100}
+	}
+	return App{
+		Name:     "H.264 Encoder",
+		Build:    func(sink apps.Sink) (*kpn.Network, error) { return apps.H264Network(cfg, sink) },
+		Producer: cfg.Producer,
+		Consumer: cfg.Consumer,
+		InModel:  cfg.ReplicaInputModel,
+		OutModel: cfg.ReplicaOutputModel,
+		InChan:   "F_in", OutChan: "F_out",
+		Tokens:       cfg.Frames,
+		PeriodUs:     cfg.Producer.Period,
+		InTokenBytes: 76800, OutTokenBytes: 20 * 1024,
+		OutInit: cfg.OutInit,
+	}
+}
+
+// RadarApp builds the radar application descriptor — the fourth,
+// intro-motivated workload beyond the paper's three (see DESIGN.md §6).
+func RadarApp(minJitter bool, tokens int64) App {
+	cfg := apps.DefaultRadarConfig()
+	if tokens > 0 {
+		cfg.Intervals = tokens
+	}
+	if minJitter {
+		cfg.Producer.Jitter = 500
+		cfg.Consumer.Jitter = 500
+		cfg.MF.JitterUs = [3]des.Time{500, 500, 500}
+		cfg.Env.JitterUs = [3]des.Time{500, 500, 500}
+		cfg.Cfar.JitterUs = [3]des.Time{500, 500, 500}
+	}
+	return App{
+		Name:     "Radar Chain",
+		Build:    func(sink apps.Sink) (*kpn.Network, error) { return apps.RadarNetwork(cfg, sink) },
+		Producer: cfg.Producer,
+		Consumer: cfg.Consumer,
+		InModel:  cfg.ReplicaInputModel,
+		OutModel: cfg.ReplicaOutputModel,
+		InChan:   "F_in", OutChan: "F_out",
+		Tokens:       cfg.Intervals,
+		PeriodUs:     cfg.Producer.Period,
+		InTokenBytes: 8 * cfg.Window, OutTokenBytes: 512,
+		OutInit: cfg.OutInit,
+	}
+}
+
+// AppByName resolves "mjpeg", "adpcm", "h264" or "radar"; tokens
+// overrides the workload length when positive.
+func AppByName(name string, minJitter bool, tokens int64) (App, error) {
+	switch name {
+	case "mjpeg":
+		return MJPEGApp(minJitter, tokens), nil
+	case "adpcm":
+		return ADPCMApp(minJitter, tokens), nil
+	case "h264":
+		return H264App(minJitter, tokens), nil
+	case "radar":
+		return RadarApp(minJitter, tokens), nil
+	default:
+		return App{}, fmt.Errorf("exp: unknown application %q (want mjpeg, adpcm, h264 or radar)", name)
+	}
+}

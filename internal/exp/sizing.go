@@ -1,0 +1,133 @@
+package exp
+
+import (
+	"fmt"
+
+	"ftpn/internal/des"
+	"ftpn/internal/ft"
+	"ftpn/internal/rtc"
+)
+
+// Sizing is the analytic design of a duplicated system per Section 3.4:
+// replicator capacities (eq. 3), selector initial fills (eq. 4) and
+// capacities, divergence thresholds (eq. 5) and detection-latency upper
+// bounds (eq. 6-8).
+type Sizing struct {
+	RepCaps  [2]int
+	SelInits [2]int
+	SelCaps  [2]int
+	D        int64 // selector divergence threshold
+	DRep     int64 // replicator read-divergence threshold
+
+	SelBoundUs des.Time // eq. 8 bound for a stopped replica at the selector
+	RepBoundUs des.Time // queue-fill bound at the replicator
+}
+
+// ComputeSizing derives the full analytic design for an application.
+func ComputeSizing(app App) (Sizing, error) {
+	var s Sizing
+	in1, in2 := app.InModel(1), app.InModel(2)
+	out1, out2 := app.OutModel(1), app.OutModel(2)
+	h := rtc.Horizon(app.Producer, app.Consumer, in1, in2, out1, out2)
+
+	// Eq. 3: replicator queue capacities, one per replica.
+	for i, m := range []rtc.PJD{in1, in2} {
+		c, err := rtc.BufferCapacity(app.Producer.Upper(), m.Lower(), h)
+		if err != nil {
+			return s, fmt.Errorf("exp: replicator capacity R%d: %w", i+1, err)
+		}
+		s.RepCaps[i] = int(c)
+		if s.RepCaps[i] < 1 {
+			s.RepCaps[i] = 1
+		}
+	}
+
+	// Eq. 4: initial fills so the consumer never stalls; the virtual
+	// capacity |S_k| additionally absorbs the consumer running ahead of
+	// replica k by the same amount, hence |S_k| = 2·|S_k|_0 (which
+	// reproduces the paper's 4/2 and 6/3 pattern).
+	for i, m := range []rtc.PJD{out1, out2} {
+		f, err := rtc.InitialFill(m.Lower(), app.Consumer.Upper(), h)
+		if err != nil {
+			return s, fmt.Errorf("exp: selector initial fill S%d: %w", i+1, err)
+		}
+		if f < 1 {
+			f = 1
+		}
+		s.SelInits[i] = int(f)
+		s.SelCaps[i] = 2 * int(f)
+	}
+
+	// Eq. 5: divergence thresholds from the output envelopes (selector)
+	// and consumption envelopes (replicator).
+	d, err := rtc.DivergenceThreshold(out1.Upper(), out1.Lower(), out2.Upper(), out2.Lower(), h)
+	if err != nil {
+		return s, fmt.Errorf("exp: selector divergence threshold: %w", err)
+	}
+	s.D = d
+	dr, err := rtc.DivergenceThreshold(in1.Upper(), in1.Lower(), in2.Upper(), in2.Lower(), h)
+	if err != nil {
+		return s, fmt.Errorf("exp: replicator divergence threshold: %w", err)
+	}
+	s.DRep = dr
+
+	// Eq. 8: selector detection bound for a fail-silent replica.
+	bh := h * 8
+	selBound, err := rtc.StoppedDetectionBound([]rtc.Curve{out1.Lower(), out2.Lower()}, s.D, bh)
+	if err != nil {
+		return s, fmt.Errorf("exp: selector detection bound: %w", err)
+	}
+	s.SelBoundUs = selBound
+
+	// Replicator bound: a stopped replica's queue (worst case empty at
+	// the fault) fills after cap more tokens; the write that finds it
+	// full is the cap+1-th. One additional token must be budgeted for a
+	// read the replica had already posted when the fault struck (a
+	// blocking read in flight completes; the fault model observes faults
+	// at interfaces), so the bound is the time for the producer's lower
+	// curve to deliver cap+2 tokens. The divergence detector (2·DRep-1
+	// consumption events by the healthy replica) may fire earlier; the
+	// bound takes the per-replica minimum, then the worst replica.
+	for i := range s.RepCaps {
+		qf, err := boundForCount(app.Producer.Lower(), int64(s.RepCaps[i])+2, bh)
+		if err != nil {
+			return s, fmt.Errorf("exp: replicator queue-fill bound R%d: %w", i+1, err)
+		}
+		other := []rtc.PJD{in1, in2}[1-i]
+		dv, err := boundForCount(other.Lower(), 2*s.DRep, bh) // +1 read in flight
+
+		if err != nil {
+			dv = qf // divergence never fires within the horizon
+		}
+		b := qf
+		if dv < b {
+			b = dv
+		}
+		if b > s.RepBoundUs {
+			s.RepBoundUs = b
+		}
+	}
+	return s, nil
+}
+
+// boundForCount returns the smallest Δ with curve(Δ) >= need.
+func boundForCount(c rtc.Curve, need rtc.Count, horizon des.Time) (des.Time, error) {
+	for delta := des.Time(0); delta <= horizon; delta++ {
+		if c.Eval(delta) >= need {
+			return delta, nil
+		}
+	}
+	return 0, rtc.ErrUnreachable
+}
+
+// BuildConfig converts the sizing into the ft transform's configuration
+// for the application's boundary channels.
+func (s Sizing) BuildConfig(app App) ft.BuildConfig {
+	return ft.BuildConfig{
+		ReplicatorCaps: map[string][2]int{app.InChan: s.RepCaps},
+		ReplicatorD:    map[string]int64{app.InChan: s.DRep},
+		SelectorCaps:   map[string][2]int{app.OutChan: s.SelCaps},
+		SelectorInits:  map[string][2]int{app.OutChan: s.SelInits},
+		SelectorD:      map[string]int64{app.OutChan: s.D},
+	}
+}

@@ -1,0 +1,64 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"ftpn/internal/rtc"
+)
+
+// Table1Row is one interface's timing parameters.
+type Table1Row struct {
+	App       string
+	Interface string
+	Model     rtc.PJD
+}
+
+// Table1 returns the timing parameters of all three applications in the
+// paper's <period, jitter, delay> form (Table 1). Bandwidth figures
+// follow from token sizes and periods.
+func Table1() []Table1Row {
+	var rows []Table1Row
+	for _, name := range []string{"mjpeg", "adpcm", "h264"} {
+		app, _ := AppByName(name, false, 0)
+		rows = append(rows,
+			Table1Row{app.Name, "input (producer)", app.Producer},
+			Table1Row{app.Name, "replica 1 consumption", app.InModel(1)},
+			Table1Row{app.Name, "replica 2 consumption", app.InModel(2)},
+			Table1Row{app.Name, "replica 1 production", app.OutModel(1)},
+			Table1Row{app.Name, "replica 2 production", app.OutModel(2)},
+			Table1Row{app.Name, "consumer consumption", app.Consumer},
+		)
+	}
+	return rows
+}
+
+// ms renders microseconds as fractional milliseconds.
+func ms(us int64) string {
+	if us%1000 == 0 {
+		return fmt.Sprintf("%d", us/1000)
+	}
+	return fmt.Sprintf("%.1f", float64(us)/1000)
+}
+
+// FormatTable1 renders Table 1 paper-style.
+func FormatTable1(rows []Table1Row) string {
+	var b strings.Builder
+	b.WriteString("Table 1: Parameters for Fault Tolerance Experiments (<period,jitter,delay> in ms)\n")
+	prev := ""
+	for _, r := range rows {
+		if r.App != prev {
+			fmt.Fprintf(&b, "%s\n", r.App)
+			prev = r.App
+		}
+		fmt.Fprintf(&b, "  %-24s <%s,%s,%s>\n", r.Interface,
+			ms(r.Model.Period), ms(r.Model.Jitter), ms(r.Model.MinDist))
+	}
+	// Bandwidth summary as the paper reports (500-833 KB/s class links).
+	mj := MJPEGApp(false, 0)
+	ad := ADPCMApp(false, 0)
+	fmt.Fprintf(&b, "Bandwidth: MJPEG input %.0f KB/s, ADPCM input %.0f KB/s (paper: 500-833 KB/s)\n",
+		float64(mj.InTokenBytes)/1024/(float64(mj.PeriodUs)/1e6),
+		float64(ad.InTokenBytes)/1024/(float64(ad.PeriodUs)/1e6))
+	return b.String()
+}

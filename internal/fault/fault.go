@@ -1,0 +1,199 @@
+// Package fault injects timing faults at process interfaces, following
+// the paper's fault model (Section 2): a faulty replica "either stops
+// producing (or consuming) tokens, or does so at a rate lower than
+// expected", observed purely at its channel interfaces. Faults are
+// injected by gating a replica's read and write ports with a Switch; the
+// replica's internal computation is untouched, which matches the paper's
+// black-box treatment of replicas.
+package fault
+
+import (
+	"fmt"
+
+	"ftpn/internal/des"
+	"ftpn/internal/kpn"
+)
+
+// Mode describes the timing fault a Switch currently imposes.
+type Mode int
+
+const (
+	// None: the interface behaves normally.
+	None Mode = iota
+	// StopConsuming blocks all reads forever (the replica stops pulling
+	// tokens from its input).
+	StopConsuming
+	// StopProducing blocks all writes forever (the replica stops
+	// delivering tokens; the paper's fail-silent stop fault).
+	StopProducing
+	// StopAll blocks both directions.
+	StopAll
+	// Degrade adds a fixed extra delay to every read and write,
+	// modelling a replica that still works but at a lower rate than its
+	// design-time model allows.
+	Degrade
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case None:
+		return "none"
+	case StopConsuming:
+		return "stop-consuming"
+	case StopProducing:
+		return "stop-producing"
+	case StopAll:
+		return "stop-all"
+	case Degrade:
+		return "degrade"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Switch is the fault control for one replica. The zero value is a
+// healthy interface; faults are armed with Inject or scheduled with
+// InjectAt. A Switch is permanent once tripped (the paper tolerates one
+// permanent timing fault) unless RepairAt is used — an extension beyond
+// the paper's model for studying transient faults: the replica resumes,
+// its stale tokens surface as late duplicates the selector drops, and
+// any conviction already made stays latched.
+type Switch struct {
+	k        *des.Kernel
+	mode     Mode
+	extraUs  des.Time
+	at       des.Time // injection instant, valid once mode != None
+	blocked  des.Signal
+	injected bool
+	repaired bool
+}
+
+// NewSwitch creates a healthy switch bound to the kernel.
+func NewSwitch(k *des.Kernel) *Switch { return &Switch{k: k} }
+
+// Inject trips the switch immediately. extraUs is only meaningful for
+// Degrade and is the added delay per channel operation. An active fault
+// is permanent: further injections are ignored until (and unless) the
+// switch is Repair-ed.
+func (s *Switch) Inject(mode Mode, extraUs des.Time) {
+	if s.mode != None || mode == None {
+		return
+	}
+	s.mode = mode
+	s.extraUs = extraUs
+	s.at = s.k.Now()
+	s.injected = true
+}
+
+// InjectAt schedules the fault for virtual time t.
+func (s *Switch) InjectAt(t des.Time, mode Mode, extraUs des.Time) {
+	s.k.At(t, func() { s.Inject(mode, extraUs) })
+}
+
+// Mode returns the current fault mode.
+func (s *Switch) Mode() Mode { return s.mode }
+
+// InjectedAt returns the most recent injection instant and whether the
+// switch has ever been injected (the flag stays latched across Repair,
+// so detections of a since-repaired fault are not misread as false
+// positives).
+func (s *Switch) InjectedAt() (des.Time, bool) { return s.at, s.injected }
+
+// Repair clears the fault, waking any interface operations parked by a
+// stop fault. InjectedAt keeps reporting the original injection so
+// detection latency remains measurable. The replica may be injected
+// again afterwards.
+func (s *Switch) Repair() {
+	if s.mode == None {
+		return
+	}
+	s.mode = None
+	s.extraUs = 0
+	s.repaired = true
+	s.k.Broadcast(&s.blocked)
+}
+
+// RepairAt schedules Repair for virtual time t.
+func (s *Switch) RepairAt(t des.Time) {
+	s.k.At(t, func() { s.Repair() })
+}
+
+// Repaired reports whether the switch has ever been repaired.
+func (s *Switch) Repaired() bool { return s.repaired }
+
+// blockWhileStopped parks the process until the stop fault is repaired
+// (never, for the paper's permanent faults).
+func (s *Switch) blockWhileStopped(p *des.Proc, stops func(Mode) bool) {
+	for stops(s.mode) {
+		p.Wait(&s.blocked)
+	}
+}
+
+func stopsReads(m Mode) bool  { return m == StopConsuming || m == StopAll }
+func stopsWrites(m Mode) bool { return m == StopProducing || m == StopAll }
+
+// gateRead applies the fault to a read about to happen.
+func (s *Switch) gateRead(p *des.Proc) {
+	s.blockWhileStopped(p, stopsReads)
+	if s.mode == Degrade {
+		p.Delay(s.extraUs)
+	}
+}
+
+// gateWrite applies the fault to a write about to happen.
+func (s *Switch) gateWrite(p *des.Proc) {
+	s.blockWhileStopped(p, stopsWrites)
+	if s.mode == Degrade {
+		p.Delay(s.extraUs)
+	}
+}
+
+// readGate wraps a ReadPort with a Switch.
+type readGate struct {
+	inner kpn.ReadPort
+	sw    *Switch
+}
+
+// GateRead returns a ReadPort whose reads are subject to the switch's
+// fault mode at the moment of each call.
+func GateRead(port kpn.ReadPort, sw *Switch) kpn.ReadPort {
+	return &readGate{inner: port, sw: sw}
+}
+
+// Read implements kpn.ReadPort.
+func (g *readGate) Read(p *des.Proc) kpn.Token {
+	g.sw.gateRead(p)
+	tok := g.inner.Read(p)
+	// A fault injected while blocked inside the inner read must not leak
+	// the token onward: re-check and park while the replica is stopped.
+	// Under a permanent fault the token is lost with the replica; if the
+	// fault is transient (Repair), the resumed replica continues with
+	// the token it had fetched — pause semantics.
+	g.sw.blockWhileStopped(p, stopsReads)
+	return tok
+}
+
+// PortName implements kpn.ReadPort.
+func (g *readGate) PortName() string { return g.inner.PortName() }
+
+// writeGate wraps a WritePort with a Switch.
+type writeGate struct {
+	inner kpn.WritePort
+	sw    *Switch
+}
+
+// GateWrite returns a WritePort whose writes are subject to the switch's
+// fault mode at the moment of each call.
+func GateWrite(port kpn.WritePort, sw *Switch) kpn.WritePort {
+	return &writeGate{inner: port, sw: sw}
+}
+
+// Write implements kpn.WritePort.
+func (g *writeGate) Write(p *des.Proc, tok kpn.Token) {
+	g.sw.gateWrite(p)
+	g.inner.Write(p, tok)
+}
+
+// PortName implements kpn.WritePort.
+func (g *writeGate) PortName() string { return g.inner.PortName() }

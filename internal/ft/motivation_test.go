@@ -1,0 +1,105 @@
+package ft
+
+import (
+	"testing"
+
+	"ftpn/internal/des"
+	"ftpn/internal/kpn"
+)
+
+// TestMotivationalDeadlockNaiveArbitration reproduces §1.1's
+// "Deadlocked Non-Faulty Replicas" scenario: a naive arbiter that, after
+// flagging a replica, simply stops reading from its stream — feeding
+// each replica through an ordinary bounded FIFO pair — lets
+// back-pressure from the flagged stream propagate through the shared
+// producer and starve the healthy replica. The paper's replicator
+// breaks that chain: the producer never blocks on a faulty replica's
+// queue, so the healthy replica keeps running.
+func TestMotivationalDeadlockNaiveArbitration(t *testing.T) {
+	const tokens = 60
+	const faultAt = 20 // replica 1 stops consuming after 20 tokens
+
+	// --- Naive construction: plain fan-out through two bounded FIFOs,
+	// the producer writing to both (blocking semantics everywhere).
+	naiveDelivered := func() int {
+		k := des.NewKernel()
+		q1 := kpn.NewFIFO(k, "q1", 2)
+		q2 := kpn.NewFIFO(k, "q2", 2)
+		// Producer: must write each token to BOTH queues (active
+		// replication over plain channels).
+		k.Spawn("P", 0, func(p *des.Proc) {
+			for i := int64(1); i <= tokens; i++ {
+				q1.Write(p, kpn.Token{Seq: i})
+				q2.Write(p, kpn.Token{Seq: i})
+				p.Delay(10)
+			}
+		})
+		// Replica 1: consumes until its fault, then stops reading —
+		// exactly the "selector stops destructively reading tokens"
+		// behaviour of the motivational example, seen from the input.
+		k.Spawn("R1", 0, func(p *des.Proc) {
+			for i := 0; i < faultAt; i++ {
+				q1.Read(p)
+				p.Delay(10)
+			}
+			// Permanent timing fault: no more reads.
+		})
+		// Replica 2: healthy, consumes forever.
+		delivered := 0
+		k.Spawn("R2", 0, func(p *des.Proc) {
+			for {
+				q2.Read(p)
+				delivered++
+				p.Delay(10)
+			}
+		})
+		k.Run(0)
+		k.Shutdown()
+		return delivered
+	}()
+
+	// The healthy replica starves: once q1 fills, the producer blocks
+	// forever, so replica 2 receives only the tokens already in flight.
+	if naiveDelivered >= tokens {
+		t.Fatalf("naive arbitration delivered %d tokens; expected starvation well below %d",
+			naiveDelivered, tokens)
+	}
+
+	// --- The paper's replicator in the same scenario.
+	ftDelivered := func() int {
+		k := des.NewKernel()
+		rep := NewReplicator(k, "R", [2]int{2, 2}, nil)
+		k.Spawn("P", 0, func(p *des.Proc) {
+			for i := int64(1); i <= tokens; i++ {
+				rep.WriterPort().Write(p, kpn.Token{Seq: i})
+				p.Delay(10)
+			}
+		})
+		k.Spawn("R1", 0, func(p *des.Proc) {
+			for i := 0; i < faultAt; i++ {
+				rep.ReaderPort(1).Read(p)
+				p.Delay(10)
+			}
+		})
+		delivered := 0
+		k.Spawn("R2", 0, func(p *des.Proc) {
+			for {
+				rep.ReaderPort(2).Read(p)
+				delivered++
+				p.Delay(10)
+			}
+		})
+		k.Run(0)
+		k.Shutdown()
+		if ok, _, _ := rep.Faulty(1); !ok {
+			t.Error("replicator should convict the stalled replica")
+		}
+		return delivered
+	}()
+
+	if ftDelivered != tokens {
+		t.Fatalf("replicator delivered %d tokens to the healthy replica, want all %d",
+			ftDelivered, tokens)
+	}
+	t.Logf("naive: %d/%d delivered (starved); replicator: %d/%d", naiveDelivered, tokens, ftDelivered, tokens)
+}

@@ -1,0 +1,346 @@
+package ft
+
+import (
+	"fmt"
+
+	"ftpn/internal/des"
+	"ftpn/internal/kpn"
+)
+
+// The paper (Section 1) notes that the two-replica construction "can be
+// easily relaxed by adding more replicas to the system, and a more
+// general setup for tolerating up to n timing faults can be easily
+// constructed using the principles outlined in this paper". NReplicator
+// and NSelector are that generalization: with m replicas, up to m-1
+// single permanent timing faults are tolerated, detected by the same
+// counter-only rules.
+
+// nFaultState generalizes faultState to m replicas.
+type nFaultState struct {
+	channel string
+	k       *des.Kernel
+	faulty  []bool
+	at      []des.Time
+	reasons []Reason
+	handler FaultHandler
+}
+
+func newNFaultState(channel string, k *des.Kernel, n int, handler FaultHandler) nFaultState {
+	return nFaultState{
+		channel: channel, k: k,
+		faulty:  make([]bool, n),
+		at:      make([]des.Time, n),
+		reasons: make([]Reason, n),
+		handler: handler,
+	}
+}
+
+func (fs *nFaultState) flag(r int, reason Reason) {
+	if fs.faulty[r] {
+		return
+	}
+	fs.faulty[r] = true
+	fs.at[r] = fs.k.Now()
+	fs.reasons[r] = reason
+	if fs.handler != nil {
+		fs.handler(Fault{Channel: fs.channel, Replica: r + 1, At: fs.k.Now(), Reason: reason})
+	}
+}
+
+// Faulty reports replica r's (1-based) detection state.
+func (fs *nFaultState) Faulty(r int) (bool, des.Time, Reason) {
+	i := r - 1
+	if i < 0 || i >= len(fs.faulty) {
+		panic(fmt.Sprintf("ft: replica index %d out of range [1,%d]", r, len(fs.faulty)))
+	}
+	return fs.faulty[i], fs.at[i], fs.reasons[i]
+}
+
+// NumFaulty returns how many replicas have been convicted.
+func (fs *nFaultState) NumFaulty() int {
+	n := 0
+	for _, f := range fs.faulty {
+		if f {
+			n++
+		}
+	}
+	return n
+}
+
+// NReplicator fans one producer stream out to m replica queues, with
+// the two-replica Replicator's queue-full fault detection on each.
+type NReplicator struct {
+	nFaultState
+	name   string
+	caps   []int
+	queues [][]kpn.Token
+	reads  []int64
+	writes int64
+	lost   int64
+
+	notEmpty []des.Signal
+
+	// DReads enables read-divergence detection: a replica lagging the
+	// front-runner by DReads consumed tokens is faulty. 0 disables.
+	DReads int64
+}
+
+// NewNReplicator builds an m-way replicator (m = len(caps) >= 2).
+func NewNReplicator(k *des.Kernel, name string, caps []int, handler FaultHandler) *NReplicator {
+	if len(caps) < 2 {
+		panic(fmt.Sprintf("ft: n-replicator %q needs at least 2 queues, got %d", name, len(caps)))
+	}
+	for i, c := range caps {
+		if c <= 0 {
+			panic(fmt.Sprintf("ft: n-replicator %q capacity %d for replica %d must be positive", name, c, i+1))
+		}
+	}
+	return &NReplicator{
+		nFaultState: newNFaultState(name, k, len(caps), handler),
+		name:        name,
+		caps:        append([]int(nil), caps...),
+		queues:      make([][]kpn.Token, len(caps)),
+		reads:       make([]int64, len(caps)),
+		notEmpty:    make([]des.Signal, len(caps)),
+	}
+}
+
+// Name returns the channel name; Replicas the fan-out width.
+func (r *NReplicator) Name() string  { return r.name }
+func (r *NReplicator) Replicas() int { return len(r.caps) }
+
+// Fill returns the queue fill of replica i (1-based); Writes and Lost
+// mirror Replicator's counters.
+func (r *NReplicator) Fill(replica int) int { return len(r.queues[replica-1]) }
+func (r *NReplicator) Writes() int64        { return r.writes }
+func (r *NReplicator) Lost() int64          { return r.lost }
+
+func (r *NReplicator) write(p *des.Proc, tok kpn.Token) {
+	delivered := false
+	for i := range r.queues {
+		if r.faulty[i] {
+			continue
+		}
+		if len(r.queues[i]) >= r.caps[i] {
+			r.flag(i, ReasonQueueFull)
+			continue
+		}
+		r.queues[i] = append(r.queues[i], tok)
+		r.k.Broadcast(&r.notEmpty[i])
+		delivered = true
+	}
+	r.writes++
+	if !delivered {
+		r.lost++
+	}
+}
+
+func (r *NReplicator) read(p *des.Proc, i int) kpn.Token {
+	for len(r.queues[i]) == 0 {
+		p.Wait(&r.notEmpty[i])
+	}
+	tok := r.queues[i][0]
+	copy(r.queues[i], r.queues[i][1:])
+	r.queues[i] = r.queues[i][:len(r.queues[i])-1]
+	r.reads[i]++
+	if r.DReads > 0 {
+		for j := range r.reads {
+			if j != i && !r.faulty[j] && r.reads[i]-r.reads[j] >= r.DReads {
+				r.flag(j, ReasonDivergence)
+			}
+		}
+	}
+	return tok
+}
+
+// WriterPort returns the single producer-facing write interface.
+func (r *NReplicator) WriterPort() kpn.WritePort { return nRepWriter{r} }
+
+// ReaderPort returns replica i's (1-based) read interface.
+func (r *NReplicator) ReaderPort(replica int) kpn.ReadPort {
+	if replica < 1 || replica > len(r.caps) {
+		panic(fmt.Sprintf("ft: n-replicator replica %d out of range [1,%d]", replica, len(r.caps)))
+	}
+	return nRepReader{r: r, i: replica - 1}
+}
+
+type nRepWriter struct{ r *NReplicator }
+
+func (w nRepWriter) Write(p *des.Proc, tok kpn.Token) { w.r.write(p, tok) }
+func (w nRepWriter) PortName() string                 { return w.r.name + ".w" }
+
+type nRepReader struct {
+	r *NReplicator
+	i int
+}
+
+func (rd nRepReader) Read(p *des.Proc) kpn.Token { return rd.r.read(p, rd.i) }
+func (rd nRepReader) PortName() string           { return fmt.Sprintf("%s.r%d", rd.r.name, rd.i+1) }
+
+// NSelector merges m replica streams into one consumer stream: the
+// first token of each duplicate set (the interface whose write count is
+// weakly maximal) is queued, every later duplicate dropped. Detection
+// generalizes directly: a space counter beyond its virtual capacity
+// convicts a consumer-stalling replica, and an interface trailing the
+// front-runner by D writes convicts the laggard.
+type NSelector struct {
+	nFaultState
+	name  string
+	caps  []int
+	inits []int
+	space []int64
+	wcnt  []int64
+	drops []int64
+
+	fifo []kpn.Token
+	head int
+
+	notEmpty des.Signal
+	notFull  []des.Signal
+
+	reads   int64
+	maxFill int
+
+	// D is the divergence threshold (eq. 5 computed pairwise over all
+	// replica output envelopes); 0 disables divergence detection.
+	D int64
+}
+
+// NewNSelector builds an m-way selector (m = len(caps) = len(inits)).
+func NewNSelector(k *des.Kernel, name string, caps, inits []int, d int64, preload func(i int) kpn.Token, handler FaultHandler) *NSelector {
+	if len(caps) < 2 || len(caps) != len(inits) {
+		panic(fmt.Sprintf("ft: n-selector %q needs matching caps/inits of length >= 2, got %d/%d",
+			name, len(caps), len(inits)))
+	}
+	if d < 0 {
+		panic(fmt.Sprintf("ft: n-selector %q divergence threshold must be non-negative, got %d", name, d))
+	}
+	s := &NSelector{
+		nFaultState: newNFaultState(name, k, len(caps), handler),
+		name:        name,
+		caps:        append([]int(nil), caps...),
+		inits:       append([]int(nil), inits...),
+		space:       make([]int64, len(caps)),
+		wcnt:        make([]int64, len(caps)),
+		drops:       make([]int64, len(caps)),
+		notFull:     make([]des.Signal, len(caps)),
+		D:           d,
+	}
+	nPre := 0
+	for i := range caps {
+		if caps[i] <= 0 {
+			panic(fmt.Sprintf("ft: n-selector %q capacity for replica %d must be positive", name, i+1))
+		}
+		if inits[i] < 0 || inits[i] > caps[i] {
+			panic(fmt.Sprintf("ft: n-selector %q initial tokens %d outside [0,%d]", name, inits[i], caps[i]))
+		}
+		if inits[i] > nPre {
+			nPre = inits[i]
+		}
+	}
+	for i := 0; i < nPre; i++ {
+		var tok kpn.Token
+		if preload != nil {
+			tok = preload(i)
+		} else {
+			tok = kpn.Token{Seq: int64(i) - int64(nPre) + 1}
+		}
+		s.fifo = append(s.fifo, tok)
+	}
+	s.maxFill = nPre
+	for i := range caps {
+		// Initial credits affect only space; pairing and divergence use
+		// actual write counts (see Selector for why).
+		s.space[i] = int64(caps[i] - inits[i])
+	}
+	return s
+}
+
+// Name returns the channel name; Replicas the fan-in width.
+func (s *NSelector) Name() string  { return s.name }
+func (s *NSelector) Replicas() int { return len(s.caps) }
+
+// Fill, MaxFill, Reads, Writes, Drops mirror Selector's accessors.
+func (s *NSelector) Fill() int                { return len(s.fifo) - s.head }
+func (s *NSelector) MaxFill() int             { return s.maxFill }
+func (s *NSelector) Reads() int64             { return s.reads }
+func (s *NSelector) Writes(replica int) int64 { return s.wcnt[replica-1] }
+func (s *NSelector) Drops(replica int) int64  { return s.drops[replica-1] }
+func (s *NSelector) Space(replica int) int64  { return s.space[replica-1] }
+
+func (s *NSelector) write(p *des.Proc, i int, tok kpn.Token) {
+	for s.space[i] == 0 {
+		p.Wait(&s.notFull[i])
+	}
+	first := true
+	for j := range s.wcnt {
+		if j != i && s.wcnt[j] > s.wcnt[i] {
+			first = false
+			break
+		}
+	}
+	if first {
+		s.fifo = append(s.fifo, tok)
+		if f := s.Fill(); f > s.maxFill {
+			s.maxFill = f
+		}
+		s.k.Broadcast(&s.notEmpty)
+	} else {
+		s.drops[i]++
+	}
+	s.wcnt[i]++
+	s.space[i]--
+	if s.D > 0 {
+		for j := range s.wcnt {
+			if j != i && !s.faulty[j] && s.wcnt[i]-s.wcnt[j] >= s.D {
+				s.flag(j, ReasonDivergence)
+			}
+		}
+	}
+}
+
+func (s *NSelector) read(p *des.Proc) kpn.Token {
+	for s.Fill() == 0 {
+		p.Wait(&s.notEmpty)
+	}
+	tok := s.fifo[s.head]
+	s.fifo[s.head] = kpn.Token{}
+	s.head++
+	if s.head == len(s.fifo) {
+		s.fifo = s.fifo[:0]
+		s.head = 0
+	}
+	s.reads++
+	for i := range s.space {
+		s.space[i]++
+		if !s.faulty[i] && s.space[i] > int64(s.caps[i]) {
+			s.flag(i, ReasonConsumerStall)
+		}
+		s.k.Broadcast(&s.notFull[i])
+	}
+	return tok
+}
+
+// WriterPort returns replica i's (1-based) write interface.
+func (s *NSelector) WriterPort(replica int) kpn.WritePort {
+	if replica < 1 || replica > len(s.caps) {
+		panic(fmt.Sprintf("ft: n-selector replica %d out of range [1,%d]", replica, len(s.caps)))
+	}
+	return nSelWriter{s: s, i: replica - 1}
+}
+
+// ReaderPort returns the single consumer-facing read interface.
+func (s *NSelector) ReaderPort() kpn.ReadPort { return nSelReader{s} }
+
+type nSelWriter struct {
+	s *NSelector
+	i int
+}
+
+func (w nSelWriter) Write(p *des.Proc, tok kpn.Token) { w.s.write(p, w.i, tok) }
+func (w nSelWriter) PortName() string                 { return fmt.Sprintf("%s.w%d", w.s.name, w.i+1) }
+
+type nSelReader struct{ s *NSelector }
+
+func (rd nSelReader) Read(p *des.Proc) kpn.Token { return rd.s.read(p) }
+func (rd nSelReader) PortName() string           { return rd.s.name + ".r" }

@@ -1,0 +1,181 @@
+package ft
+
+import (
+	"fmt"
+
+	"ftpn/internal/des"
+	"ftpn/internal/kpn"
+)
+
+// Replicator is the paper's replicator channel (§3.1): one writing
+// interface and two reading interfaces backed by two FIFO queues of
+// capacities |R_1| and |R_2|. Every written token is duplicated into
+// both queues.
+//
+// In Strict mode the channel follows rule 3 literally: a write blocks
+// while min(space_1, space_2) = 0, which (with unbounded or
+// never-overflowing queues) yields the equivalence of Theorem 2. In the
+// default fault-detecting mode (§3.3) a write that finds queue k full
+// instead marks replica k faulty and stops feeding it, so the producer
+// never blocks on a faulty replica.
+//
+// Optionally, a divergence threshold DReads > 0 additionally flags the
+// replica whose *consumption* lags the other's by DReads tokens,
+// detecting rate degradation before a queue fills (the replicator-side
+// analogue of eq. 5, which §3.4 notes is computed analogously).
+type Replicator struct {
+	faultState
+	name    string
+	caps    [2]int
+	queues  [2][]kpn.Token
+	reads   [2]int64
+	writes  int64
+	lost    int64 // tokens dropped because both replicas were faulty
+	maxFill [2]int
+
+	notEmpty [2]des.Signal
+	notFull  des.Signal
+
+	// Strict disables fault detection and blocks per rule 3.
+	Strict bool
+	// DReads is the read-divergence threshold; 0 disables it.
+	DReads int64
+
+	onRead [2]func(now des.Time)
+}
+
+// SetReadHook registers a callback fired after each read by replica
+// (1-based); external monitors (package detect) use it to observe the
+// replica's consumption events.
+func (r *Replicator) SetReadHook(replica int, fn func(now des.Time)) {
+	r.onRead[replica-1] = fn
+}
+
+// NewReplicator builds a replicator channel with per-replica queue
+// capacities (|R_1|, |R_2|) computed from eq. 3.
+func NewReplicator(k *des.Kernel, name string, caps [2]int, handler FaultHandler) *Replicator {
+	if caps[0] <= 0 || caps[1] <= 0 {
+		panic(fmt.Sprintf("ft: replicator %q capacities must be positive, got %v", name, caps))
+	}
+	return &Replicator{
+		faultState: faultState{channel: name, k: k, handler: handler},
+		name:       name,
+		caps:       caps,
+	}
+}
+
+// Name returns the channel name.
+func (r *Replicator) Name() string { return r.name }
+
+// space returns the free slots of queue i.
+func (r *Replicator) space(i int) int { return r.caps[i] - len(r.queues[i]) }
+
+// Fill returns the fill level of replica queue i (1-based).
+func (r *Replicator) Fill(replica int) int { return len(r.queues[replica-1]) }
+
+// Capacity returns the capacity of replica queue i (1-based).
+func (r *Replicator) Capacity(replica int) int { return r.caps[replica-1] }
+
+// MaxFill returns the highest observed fill of replica queue i
+// (1-based) — Table 2's "Max. Observed Fill".
+func (r *Replicator) MaxFill(replica int) int { return r.maxFill[replica-1] }
+
+// Writes returns the number of tokens accepted from the producer; Reads
+// returns how many replica i (1-based) has consumed; Lost counts tokens
+// discarded because every queue was faulty.
+func (r *Replicator) Writes() int64           { return r.writes }
+func (r *Replicator) Reads(replica int) int64 { return r.reads[replica-1] }
+func (r *Replicator) Lost() int64             { return r.lost }
+
+// write duplicates a token into all healthy queues.
+func (r *Replicator) write(p *des.Proc, tok kpn.Token) {
+	if r.Strict {
+		for r.space(0) == 0 || r.space(1) == 0 {
+			p.Wait(&r.notFull)
+		}
+		r.queues[0] = append(r.queues[0], tok)
+		r.queues[1] = append(r.queues[1], tok)
+		r.writes++
+		for i := 0; i < 2; i++ {
+			if n := len(r.queues[i]); n > r.maxFill[i] {
+				r.maxFill[i] = n
+			}
+			r.k.Broadcast(&r.notEmpty[i])
+		}
+		return
+	}
+	// Fault detection at the replicator (§3.3): a full queue at write
+	// time means its replica consumes slower than its design-time model
+	// permits (eq. 3 guarantees this never happens fault-free).
+	delivered := false
+	for i := 0; i < 2; i++ {
+		if r.faulty[i] {
+			continue
+		}
+		if r.space(i) == 0 {
+			r.flag(i, ReasonQueueFull)
+			continue
+		}
+		r.queues[i] = append(r.queues[i], tok)
+		if n := len(r.queues[i]); n > r.maxFill[i] {
+			r.maxFill[i] = n
+		}
+		r.k.Broadcast(&r.notEmpty[i])
+		delivered = true
+	}
+	r.writes++
+	if !delivered {
+		r.lost++
+	}
+}
+
+// read removes the head token of queue i, blocking while it is empty.
+func (r *Replicator) read(p *des.Proc, i int) kpn.Token {
+	for len(r.queues[i]) == 0 {
+		p.Wait(&r.notEmpty[i])
+	}
+	tok := r.queues[i][0]
+	copy(r.queues[i], r.queues[i][1:])
+	r.queues[i] = r.queues[i][:len(r.queues[i])-1]
+	r.reads[i]++
+	if fn := r.onRead[i]; fn != nil {
+		fn(r.k.Now())
+	}
+	if r.Strict {
+		r.k.Broadcast(&r.notFull)
+	} else if d := r.DReads; d > 0 {
+		// Read-divergence detection: the *other* replica lags if this
+		// one has consumed D more tokens.
+		other := 1 - i
+		if !r.faulty[other] && r.reads[i]-r.reads[other] >= d {
+			r.flag(other, ReasonDivergence)
+		}
+	}
+	return tok
+}
+
+// replicatorWriter is the producer-facing write interface.
+type replicatorWriter struct{ r *Replicator }
+
+// WriterPort returns the single write interface.
+func (r *Replicator) WriterPort() kpn.WritePort { return replicatorWriter{r} }
+
+func (w replicatorWriter) Write(p *des.Proc, tok kpn.Token) { w.r.write(p, tok) }
+func (w replicatorWriter) PortName() string                 { return w.r.name + ".w" }
+
+// replicatorReader is one replica-facing read interface.
+type replicatorReader struct {
+	r *Replicator
+	i int
+}
+
+// ReaderPort returns the read interface for replica (1-based).
+func (r *Replicator) ReaderPort(replica int) kpn.ReadPort {
+	if replica < 1 || replica > 2 {
+		panic(fmt.Sprintf("ft: replicator replica %d out of range {1,2}", replica))
+	}
+	return replicatorReader{r: r, i: replica - 1}
+}
+
+func (rd replicatorReader) Read(p *des.Proc) kpn.Token { return rd.r.read(p, rd.i) }
+func (rd replicatorReader) PortName() string           { return fmt.Sprintf("%s.r%d", rd.r.name, rd.i+1) }

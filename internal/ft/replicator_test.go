@@ -1,0 +1,231 @@
+package ft
+
+import (
+	"testing"
+
+	"ftpn/internal/des"
+	"ftpn/internal/kpn"
+)
+
+func TestReplicatorDuplicatesToBothQueues(t *testing.T) {
+	k := des.NewKernel()
+	r := NewReplicator(k, "R", [2]int{4, 4}, nil)
+	var got1, got2 []int64
+	k.Spawn("d", 0, func(p *des.Proc) {
+		for i := int64(1); i <= 3; i++ {
+			r.WriterPort().Write(p, kpn.Token{Seq: i})
+		}
+		for i := 0; i < 3; i++ {
+			got1 = append(got1, r.ReaderPort(1).Read(p).Seq)
+			got2 = append(got2, r.ReaderPort(2).Read(p).Seq)
+		}
+	})
+	k.Run(0)
+	for i := 0; i < 3; i++ {
+		if got1[i] != int64(i+1) || got2[i] != int64(i+1) {
+			t.Fatalf("replica streams diverge: %v vs %v", got1, got2)
+		}
+	}
+	if r.Writes() != 3 || r.Reads(1) != 3 || r.Reads(2) != 3 {
+		t.Errorf("counters: w=%d r1=%d r2=%d", r.Writes(), r.Reads(1), r.Reads(2))
+	}
+}
+
+func TestReplicatorTimestampsUnchanged(t *testing.T) {
+	k := des.NewKernel()
+	r := NewReplicator(k, "R", [2]int{4, 4}, nil)
+	var tok1, tok2 kpn.Token
+	k.Spawn("d", 0, func(p *des.Proc) {
+		p.Delay(123)
+		r.WriterPort().Write(p, kpn.Token{Seq: 1, Stamp: p.Now(), Payload: []byte{9}})
+		tok1 = r.ReaderPort(1).Read(p)
+		tok2 = r.ReaderPort(2).Read(p)
+	})
+	k.Run(0)
+	if tok1.Stamp != 123 || tok2.Stamp != 123 {
+		t.Errorf("stamps = %d/%d, want 123 (replicator must not re-stamp)", tok1.Stamp, tok2.Stamp)
+	}
+	if tok1.Hash() != tok2.Hash() {
+		t.Error("payloads must be identical")
+	}
+}
+
+func TestReplicatorStrictBlocksOnFull(t *testing.T) {
+	k := des.NewKernel()
+	r := NewReplicator(k, "R", [2]int{2, 4}, nil)
+	r.Strict = true
+	var thirdAt des.Time = -1
+	k.Spawn("w", 0, func(p *des.Proc) {
+		r.WriterPort().Write(p, kpn.Token{Seq: 1})
+		r.WriterPort().Write(p, kpn.Token{Seq: 2})
+		r.WriterPort().Write(p, kpn.Token{Seq: 3}) // queue 1 full: blocks
+		thirdAt = p.Now()
+	})
+	k.Spawn("r1", 0, func(p *des.Proc) {
+		p.Delay(77)
+		r.ReaderPort(1).Read(p)
+	})
+	k.Run(0)
+	k.Shutdown()
+	if thirdAt != 77 {
+		t.Errorf("strict write completed at %d, want 77", thirdAt)
+	}
+	if ok, _, _ := r.Faulty(1); ok {
+		t.Error("strict mode must not flag faults")
+	}
+}
+
+func TestReplicatorQueueFullDetection(t *testing.T) {
+	// Replica 1 stops consuming; queue 1 (cap 2) fills; the third write
+	// finds it full, flags R_1 and keeps the producer unblocked.
+	k := des.NewKernel()
+	var faults []Fault
+	r := NewReplicator(k, "R", [2]int{2, 8}, func(f Fault) { faults = append(faults, f) })
+	var times []des.Time
+	k.Spawn("w", 0, func(p *des.Proc) {
+		for i := int64(1); i <= 5; i++ {
+			r.WriterPort().Write(p, kpn.Token{Seq: i})
+			times = append(times, p.Now())
+			p.Delay(10)
+		}
+	})
+	k.Run(0)
+	if len(faults) != 1 || faults[0].Replica != 1 || faults[0].Reason != ReasonQueueFull {
+		t.Fatalf("faults = %v, want one queue-full for R1", faults)
+	}
+	if faults[0].At != 20 {
+		t.Errorf("detected at %d, want 20 (third write)", faults[0].At)
+	}
+	// Producer never blocked: writes at 0,10,20,30,40.
+	for i, at := range times {
+		if at != des.Time(i)*10 {
+			t.Errorf("write %d at %d, want %d (producer must not block)", i, at, i*10)
+		}
+	}
+	// Healthy queue keeps receiving; faulty queue frozen at capacity.
+	if r.Fill(2) != 5 || r.Fill(1) != 2 {
+		t.Errorf("fills = %d/%d, want 2/5", r.Fill(1), r.Fill(2))
+	}
+	if r.Lost() != 0 {
+		t.Errorf("lost = %d, want 0", r.Lost())
+	}
+}
+
+func TestReplicatorBothFaultyLosesTokens(t *testing.T) {
+	k := des.NewKernel()
+	r := NewReplicator(k, "R", [2]int{1, 1}, nil)
+	k.Spawn("w", 0, func(p *des.Proc) {
+		for i := int64(1); i <= 4; i++ {
+			r.WriterPort().Write(p, kpn.Token{Seq: i})
+		}
+	})
+	k.Run(0)
+	ok1, _, _ := r.Faulty(1)
+	ok2, _, _ := r.Faulty(2)
+	if !ok1 || !ok2 {
+		t.Fatal("both replicas should be flagged")
+	}
+	if r.Lost() != 3 {
+		t.Errorf("lost = %d, want 3 (writes 2, 3 and 4)", r.Lost())
+	}
+}
+
+func TestReplicatorReadDivergenceDetection(t *testing.T) {
+	// D = 3 on reads: replica 1 consumes 3 tokens ahead of replica 2.
+	k := des.NewKernel()
+	var faults []Fault
+	r := NewReplicator(k, "R", [2]int{8, 8}, func(f Fault) { faults = append(faults, f) })
+	r.DReads = 3
+	k.Spawn("d", 0, func(p *des.Proc) {
+		for i := int64(1); i <= 3; i++ {
+			r.WriterPort().Write(p, kpn.Token{Seq: i})
+		}
+		for i := 0; i < 3; i++ {
+			p.Delay(5)
+			r.ReaderPort(1).Read(p)
+		}
+	})
+	k.Run(0)
+	if len(faults) != 1 || faults[0].Replica != 2 || faults[0].Reason != ReasonDivergence {
+		t.Fatalf("faults = %v, want replica 2 divergence", faults)
+	}
+	if faults[0].At != 15 {
+		t.Errorf("detected at %d, want 15", faults[0].At)
+	}
+}
+
+func TestReplicatorReaderBlocksWhenEmpty(t *testing.T) {
+	k := des.NewKernel()
+	r := NewReplicator(k, "R", [2]int{2, 2}, nil)
+	var readAt des.Time = -1
+	k.Spawn("r2", 0, func(p *des.Proc) {
+		r.ReaderPort(2).Read(p)
+		readAt = p.Now()
+	})
+	k.Spawn("w", 0, func(p *des.Proc) {
+		p.Delay(33)
+		r.WriterPort().Write(p, kpn.Token{Seq: 1})
+	})
+	k.Run(0)
+	k.Shutdown()
+	if readAt != 33 {
+		t.Errorf("read completed at %d, want 33", readAt)
+	}
+}
+
+func TestReplicatorFaultyQueueStopsReceiving(t *testing.T) {
+	// After R1 is flagged, new tokens only reach queue 2, so a reader of
+	// queue 1 starves once the stale tokens drain.
+	k := des.NewKernel()
+	r := NewReplicator(k, "R", [2]int{1, 8}, nil)
+	k.Spawn("w", 0, func(p *des.Proc) {
+		r.WriterPort().Write(p, kpn.Token{Seq: 1})
+		r.WriterPort().Write(p, kpn.Token{Seq: 2}) // flags R1 (queue full)
+		r.WriterPort().Write(p, kpn.Token{Seq: 3})
+	})
+	k.Run(0)
+	if ok, _, _ := r.Faulty(1); !ok {
+		t.Fatal("R1 should be flagged")
+	}
+	if r.Fill(1) != 1 {
+		t.Errorf("queue 1 fill = %d, want 1 (frozen)", r.Fill(1))
+	}
+	if r.Fill(2) != 3 {
+		t.Errorf("queue 2 fill = %d, want 3", r.Fill(2))
+	}
+}
+
+func TestReplicatorValidation(t *testing.T) {
+	k := des.NewKernel()
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("zero cap", func() { NewReplicator(k, "R", [2]int{0, 1}, nil) })
+	r := NewReplicator(k, "R", [2]int{1, 1}, nil)
+	mustPanic("bad reader", func() { r.ReaderPort(0) })
+	mustPanic("bad reader hi", func() { r.ReaderPort(3) })
+}
+
+func TestReplicatorPortNamesAndCaps(t *testing.T) {
+	k := des.NewKernel()
+	r := NewReplicator(k, "rep", [2]int{2, 3}, nil)
+	if r.WriterPort().PortName() != "rep.w" || r.ReaderPort(1).PortName() != "rep.r1" ||
+		r.ReaderPort(2).PortName() != "rep.r2" || r.Name() != "rep" {
+		t.Error("port names wrong")
+	}
+	if r.Capacity(1) != 2 || r.Capacity(2) != 3 {
+		t.Error("capacities wrong")
+	}
+}
+
+func TestFaultString(t *testing.T) {
+	f := Fault{Channel: "S", Replica: 2, At: 42, Reason: ReasonDivergence}
+	if f.String() != "S: replica R2 faulty at t=42µs (divergence)" {
+		t.Errorf("String = %q", f.String())
+	}
+}

@@ -1,0 +1,215 @@
+package ft
+
+import (
+	"fmt"
+
+	"ftpn/internal/des"
+	"ftpn/internal/kpn"
+)
+
+// Selector is the paper's selector channel (§3.1): two writing
+// interfaces and one reading interface sharing a single physical FIFO of
+// size max(|S_1|, |S_2|). Per-interface space counters start at
+// |S_k| − |S_k|_0 (capacity minus initial tokens, eq. 4) and fill starts
+// at max(|S_1|_0, |S_2|_0) preloaded tokens. A consumer read increments
+// both space counters; a write on interface k decrements only space_k
+// (Lemma 1: interfaces never touch each other's counter, so replicas are
+// isolated).
+//
+// Duplicate-pair arbitration: interface k's token is the first of its
+// pair — and is enqueued — iff k's write count is the (weak) maximum of
+// all write counts; otherwise the token duplicates one already queued
+// and is dropped. With equal virtual capacities this is exactly the
+// paper's "space_k <= space_other" rule; tracking write counts keeps the
+// rule correct when |S_1| ≠ |S_2|.
+//
+// Fault detection (§3.3) is counter-only — no runtime timekeeping:
+//
+//  1. consumer-stall: after a read, space_k > |S_k| means replica k has
+//     fallen so far behind that the consumer is living off the other
+//     replica alone; replica k is faulty.
+//  2. divergence: after a write, if the writer leads the other interface
+//     by at least D tokens (eq. 5's threshold), the other replica is
+//     faulty. D guarantees no false positives.
+type Selector struct {
+	faultState
+	name  string
+	caps  [2]int
+	inits [2]int
+	space [2]int64
+	// wcnt counts actual tokens written per interface, starting at 0 for
+	// both. Duplicate-pair arbitration and divergence detection compare
+	// these directly: the k-th write of interface 1 and the k-th write
+	// of interface 2 are the same stream token. Initial credits (inits)
+	// affect only the space counters — folding them into the write
+	// counts would shift pair identities between interfaces with
+	// asymmetric initial fills and lose a token on fail-over.
+	wcnt  [2]int64
+	drops [2]int64
+
+	fifo []kpn.Token
+	head int
+
+	notEmpty des.Signal
+	notFull  [2]des.Signal
+
+	reads   int64
+	maxFill int
+
+	// D is the divergence threshold from rtc.DivergenceThreshold; 0
+	// disables divergence detection.
+	D int64
+
+	onWrite [2]func(now des.Time)
+}
+
+// SetWriteHook registers a callback fired after each write by replica
+// (1-based); external monitors observe the replica's production events
+// through it.
+func (s *Selector) SetWriteHook(replica int, fn func(now des.Time)) {
+	s.onWrite[replica-1] = fn
+}
+
+// NewSelector builds a selector channel. caps are the virtual capacities
+// |S_1|, |S_2| (eq. 3 analogue on the consumer side); inits are the
+// initial token counts |S_1|_0, |S_2|_0 (eq. 4); preload generates the
+// max(inits) physically preloaded tokens (nil for empty timing-only
+// tokens with non-positive Seq).
+func NewSelector(k *des.Kernel, name string, caps, inits [2]int, d int64, preload func(i int) kpn.Token, handler FaultHandler) *Selector {
+	if caps[0] <= 0 || caps[1] <= 0 {
+		panic(fmt.Sprintf("ft: selector %q capacities must be positive, got %v", name, caps))
+	}
+	for i := 0; i < 2; i++ {
+		if inits[i] < 0 || inits[i] > caps[i] {
+			panic(fmt.Sprintf("ft: selector %q initial tokens %d outside [0,%d]", name, inits[i], caps[i]))
+		}
+	}
+	if d < 0 {
+		panic(fmt.Sprintf("ft: selector %q divergence threshold must be non-negative, got %d", name, d))
+	}
+	s := &Selector{
+		faultState: faultState{channel: name, k: k, handler: handler},
+		name:       name,
+		caps:       caps,
+		inits:      inits,
+		D:          d,
+	}
+	nPre := inits[0]
+	if inits[1] > nPre {
+		nPre = inits[1]
+	}
+	for i := 0; i < nPre; i++ {
+		var tok kpn.Token
+		if preload != nil {
+			tok = preload(i)
+		} else {
+			tok = kpn.Token{Seq: int64(i) - int64(nPre) + 1}
+		}
+		s.fifo = append(s.fifo, tok)
+	}
+	s.maxFill = nPre
+	for i := 0; i < 2; i++ {
+		s.space[i] = int64(caps[i] - inits[i])
+	}
+	return s
+}
+
+// Name returns the channel name.
+func (s *Selector) Name() string { return s.name }
+
+// Fill returns the number of tokens currently queued.
+func (s *Selector) Fill() int { return len(s.fifo) - s.head }
+
+// MaxFill returns the highest observed fill (Table 2's observed fill).
+func (s *Selector) MaxFill() int { return s.maxFill }
+
+// Space returns interface k's (1-based) space counter.
+func (s *Selector) Space(replica int) int64 { return s.space[replica-1] }
+
+// Writes returns how many tokens interface k (1-based) has actually
+// written; Drops counts its late duplicates discarded; Reads counts
+// consumer reads.
+func (s *Selector) Writes(replica int) int64 { return s.wcnt[replica-1] }
+func (s *Selector) Drops(replica int) int64  { return s.drops[replica-1] }
+func (s *Selector) Reads() int64             { return s.reads }
+
+// write implements rule 3 with fault detection on interface i (0-based).
+func (s *Selector) write(p *des.Proc, i int, tok kpn.Token) {
+	for s.space[i] == 0 {
+		p.Wait(&s.notFull[i])
+	}
+	other := 1 - i
+	if s.wcnt[i] >= s.wcnt[other] {
+		// First token of its duplicate pair: enqueue.
+		s.fifo = append(s.fifo, tok)
+		if f := s.Fill(); f > s.maxFill {
+			s.maxFill = f
+		}
+		s.k.Broadcast(&s.notEmpty)
+	} else {
+		// Late duplicate of an already-queued token: drop.
+		s.drops[i]++
+	}
+	s.wcnt[i]++
+	s.space[i]--
+	if fn := s.onWrite[i]; fn != nil {
+		fn(s.k.Now())
+	}
+	// Divergence detection (§3.3): writer i leading by >= D implies the
+	// other replica's output has fallen behind its envelope.
+	if s.D > 0 && !s.faulty[other] && s.wcnt[i]-s.wcnt[other] >= s.D {
+		s.flag(other, ReasonDivergence)
+	}
+}
+
+// read implements the destructive blocking read of the single reader
+// interface, with consumer-stall detection.
+func (s *Selector) read(p *des.Proc) kpn.Token {
+	for s.Fill() == 0 {
+		p.Wait(&s.notEmpty)
+	}
+	tok := s.fifo[s.head]
+	s.fifo[s.head] = kpn.Token{}
+	s.head++
+	if s.head == len(s.fifo) {
+		s.fifo = s.fifo[:0]
+		s.head = 0
+	}
+	s.reads++
+	for i := 0; i < 2; i++ {
+		s.space[i]++
+		// Consumer-stall detection: space beyond the virtual capacity
+		// means this replica no longer backs the tokens being consumed.
+		if !s.faulty[i] && s.space[i] > int64(s.caps[i]) {
+			s.flag(i, ReasonConsumerStall)
+		}
+		s.k.Broadcast(&s.notFull[i])
+	}
+	return tok
+}
+
+// selectorWriter is one replica-facing write interface.
+type selectorWriter struct {
+	s *Selector
+	i int
+}
+
+// WriterPort returns the write interface for replica (1-based).
+func (s *Selector) WriterPort(replica int) kpn.WritePort {
+	if replica < 1 || replica > 2 {
+		panic(fmt.Sprintf("ft: selector replica %d out of range {1,2}", replica))
+	}
+	return selectorWriter{s: s, i: replica - 1}
+}
+
+func (w selectorWriter) Write(p *des.Proc, tok kpn.Token) { w.s.write(p, w.i, tok) }
+func (w selectorWriter) PortName() string                 { return fmt.Sprintf("%s.w%d", w.s.name, w.i+1) }
+
+// selectorReader is the consumer-facing read interface.
+type selectorReader struct{ s *Selector }
+
+// ReaderPort returns the single read interface.
+func (s *Selector) ReaderPort() kpn.ReadPort { return selectorReader{s} }
+
+func (rd selectorReader) Read(p *des.Proc) kpn.Token { return rd.s.read(p) }
+func (rd selectorReader) PortName() string           { return rd.s.name + ".r" }

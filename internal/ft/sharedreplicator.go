@@ -1,0 +1,131 @@
+package ft
+
+import (
+	"fmt"
+
+	"ftpn/internal/des"
+	"ftpn/internal/kpn"
+)
+
+// SharedReplicator is the more memory-efficient replicator variant that
+// §3.1 mentions ("more efficient implementations utilizing circular
+// FIFO buffers with two readers are possible"): one ring buffer storing
+// each token once, with an independent read cursor per replica. The
+// observable behaviour matches Replicator with equal per-replica
+// capacities; token-slot memory is halved.
+//
+// Fault detection works exactly as in the two-queue design: a write that
+// finds replica k lagging a full ring behind marks k faulty, and k's
+// cursor stops constraining the writer, so the producer never blocks on
+// a faulty replica.
+type SharedReplicator struct {
+	faultState
+	name     string
+	capacity int
+	ring     []kpn.Token
+	writePos int64
+	readPos  [2]int64
+	maxLag   [2]int64
+
+	notEmpty [2]des.Signal
+	lost     int64
+}
+
+// NewSharedReplicator builds a shared-ring replicator with the given
+// per-replica (and total) capacity.
+func NewSharedReplicator(k *des.Kernel, name string, capacity int, handler FaultHandler) *SharedReplicator {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("ft: shared replicator %q capacity must be positive, got %d", name, capacity))
+	}
+	return &SharedReplicator{
+		faultState: faultState{channel: name, k: k, handler: handler},
+		name:       name,
+		capacity:   capacity,
+		ring:       make([]kpn.Token, capacity),
+	}
+}
+
+// Name returns the channel name.
+func (r *SharedReplicator) Name() string { return r.name }
+
+// Capacity returns the ring capacity.
+func (r *SharedReplicator) Capacity() int { return r.capacity }
+
+// Fill returns how many tokens replica i (1-based) still has pending.
+func (r *SharedReplicator) Fill(replica int) int {
+	return int(r.writePos - r.readPos[replica-1])
+}
+
+// MaxFill returns the highest pending count observed for replica i
+// (1-based).
+func (r *SharedReplicator) MaxFill(replica int) int { return int(r.maxLag[replica-1]) }
+
+// Lost counts tokens written while every replica was faulty.
+func (r *SharedReplicator) Lost() int64 { return r.lost }
+
+// write stores the token once and advances the writer.
+func (r *SharedReplicator) write(p *des.Proc, tok kpn.Token) {
+	anyHealthy := false
+	for i := 0; i < 2; i++ {
+		if r.faulty[i] {
+			continue
+		}
+		if r.writePos-r.readPos[i] >= int64(r.capacity) {
+			r.flag(i, ReasonQueueFull)
+			continue
+		}
+		anyHealthy = true
+	}
+	if !anyHealthy {
+		r.lost++
+		return
+	}
+	r.ring[r.writePos%int64(r.capacity)] = tok
+	r.writePos++
+	for i := 0; i < 2; i++ {
+		if r.faulty[i] {
+			continue
+		}
+		if lag := r.writePos - r.readPos[i]; lag > r.maxLag[i] {
+			r.maxLag[i] = lag
+		}
+		r.k.Broadcast(&r.notEmpty[i])
+	}
+}
+
+// read returns the next token for replica i (0-based), blocking while
+// the replica has consumed everything written so far.
+func (r *SharedReplicator) read(p *des.Proc, i int) kpn.Token {
+	for r.readPos[i] == r.writePos {
+		p.Wait(&r.notEmpty[i])
+	}
+	tok := r.ring[r.readPos[i]%int64(r.capacity)]
+	r.readPos[i]++
+	return tok
+}
+
+// sharedWriter is the producer-facing interface.
+type sharedWriter struct{ r *SharedReplicator }
+
+// WriterPort returns the single write interface.
+func (r *SharedReplicator) WriterPort() kpn.WritePort { return sharedWriter{r} }
+
+func (w sharedWriter) Write(p *des.Proc, tok kpn.Token) { w.r.write(p, tok) }
+func (w sharedWriter) PortName() string                 { return w.r.name + ".w" }
+
+// sharedReader is one replica-facing interface.
+type sharedReader struct {
+	r *SharedReplicator
+	i int
+}
+
+// ReaderPort returns the read interface for replica (1-based).
+func (r *SharedReplicator) ReaderPort(replica int) kpn.ReadPort {
+	if replica < 1 || replica > 2 {
+		panic(fmt.Sprintf("ft: shared replicator replica %d out of range {1,2}", replica))
+	}
+	return sharedReader{r: r, i: replica - 1}
+}
+
+func (rd sharedReader) Read(p *des.Proc) kpn.Token { return rd.r.read(p, rd.i) }
+func (rd sharedReader) PortName() string           { return fmt.Sprintf("%s.r%d", rd.r.name, rd.i+1) }

@@ -1,0 +1,182 @@
+package ft
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ftpn/internal/des"
+	"ftpn/internal/kpn"
+)
+
+func TestSharedReplicatorDuplicates(t *testing.T) {
+	k := des.NewKernel()
+	r := NewSharedReplicator(k, "R", 4, nil)
+	var got1, got2 []int64
+	k.Spawn("d", 0, func(p *des.Proc) {
+		for i := int64(1); i <= 3; i++ {
+			r.WriterPort().Write(p, kpn.Token{Seq: i})
+		}
+		for i := 0; i < 3; i++ {
+			got1 = append(got1, r.ReaderPort(1).Read(p).Seq)
+			got2 = append(got2, r.ReaderPort(2).Read(p).Seq)
+		}
+	})
+	k.Run(0)
+	for i := 0; i < 3; i++ {
+		if got1[i] != int64(i+1) || got2[i] != int64(i+1) {
+			t.Fatalf("streams diverge: %v vs %v", got1, got2)
+		}
+	}
+	if r.Fill(1) != 0 || r.Fill(2) != 0 {
+		t.Errorf("fills = %d/%d, want 0/0", r.Fill(1), r.Fill(2))
+	}
+	if r.MaxFill(1) != 3 {
+		t.Errorf("MaxFill = %d, want 3", r.MaxFill(1))
+	}
+}
+
+func TestSharedReplicatorQueueFullDetection(t *testing.T) {
+	k := des.NewKernel()
+	var faults []Fault
+	r := NewSharedReplicator(k, "R", 2, func(f Fault) { faults = append(faults, f) })
+	k.Spawn("d", 0, func(p *des.Proc) {
+		// Replica 2 consumes; replica 1 never reads.
+		for i := int64(1); i <= 5; i++ {
+			r.WriterPort().Write(p, kpn.Token{Seq: i})
+			r.ReaderPort(2).Read(p)
+			p.Delay(10)
+		}
+	})
+	k.Run(0)
+	if len(faults) != 1 || faults[0].Replica != 1 || faults[0].Reason != ReasonQueueFull {
+		t.Fatalf("faults = %v, want R1 queue-full", faults)
+	}
+	// The healthy replica kept receiving everything.
+	if got := r.Fill(2); got != 0 {
+		t.Errorf("healthy fill = %d, want 0", got)
+	}
+	if r.Lost() != 0 {
+		t.Errorf("lost = %d, want 0 (one replica still healthy)", r.Lost())
+	}
+}
+
+func TestSharedReplicatorBothFaulty(t *testing.T) {
+	k := des.NewKernel()
+	r := NewSharedReplicator(k, "R", 1, nil)
+	k.Spawn("d", 0, func(p *des.Proc) {
+		for i := int64(1); i <= 3; i++ {
+			r.WriterPort().Write(p, kpn.Token{Seq: i})
+		}
+	})
+	k.Run(0)
+	ok1, _, _ := r.Faulty(1)
+	ok2, _, _ := r.Faulty(2)
+	if !ok1 || !ok2 {
+		t.Fatal("both replicas should be flagged")
+	}
+	if r.Lost() != 2 {
+		t.Errorf("lost = %d, want 2", r.Lost())
+	}
+}
+
+func TestSharedReplicatorBlocksReader(t *testing.T) {
+	k := des.NewKernel()
+	r := NewSharedReplicator(k, "R", 2, nil)
+	var at des.Time = -1
+	k.Spawn("r1", 0, func(p *des.Proc) {
+		r.ReaderPort(1).Read(p)
+		at = p.Now()
+	})
+	k.Spawn("w", 0, func(p *des.Proc) {
+		p.Delay(42)
+		r.WriterPort().Write(p, kpn.Token{Seq: 1})
+	})
+	k.Run(0)
+	k.Shutdown()
+	if at != 42 {
+		t.Errorf("read completed at %d, want 42", at)
+	}
+}
+
+func TestSharedReplicatorValidation(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: want panic", name)
+			}
+		}()
+		fn()
+	}
+	k := des.NewKernel()
+	mustPanic("zero cap", func() { NewSharedReplicator(k, "R", 0, nil) })
+	r := NewSharedReplicator(k, "R", 2, nil)
+	mustPanic("bad reader", func() { r.ReaderPort(3) })
+	if r.Capacity() != 2 || r.Name() != "R" ||
+		r.WriterPort().PortName() != "R.w" || r.ReaderPort(2).PortName() != "R.r2" {
+		t.Error("accessors broken")
+	}
+}
+
+// Property: under fault-free interleaved consumption, the shared-ring
+// replicator delivers exactly the same streams as the two-queue design.
+func TestSharedReplicatorEquivalentToTwoQueue(t *testing.T) {
+	prop := func(capRaw uint8, pattern uint16) bool {
+		capacity := int(capRaw%4) + 2
+		k := des.NewKernel()
+		a := NewReplicator(k, "A", [2]int{capacity, capacity}, nil)
+		b := NewSharedReplicator(k, "B", capacity, nil)
+		const n = 12
+		var sa1, sa2, sb1, sb2 []int64
+		k.Spawn("d", 0, func(p *des.Proc) {
+			read1 := func() {
+				sa1 = append(sa1, a.ReaderPort(1).Read(p).Seq)
+				sb1 = append(sb1, b.ReaderPort(1).Read(p).Seq)
+			}
+			read2 := func() {
+				sa2 = append(sa2, a.ReaderPort(2).Read(p).Seq)
+				sb2 = append(sb2, b.ReaderPort(2).Read(p).Seq)
+			}
+			for i := int64(1); i <= n; i++ {
+				// Drain just enough to stay fault-free: a write must never
+				// find a replica lagging a full queue behind.
+				if a.Fill(1) == capacity {
+					read1()
+				}
+				if a.Fill(2) == capacity {
+					read2()
+				}
+				a.WriterPort().Write(p, kpn.Token{Seq: i})
+				b.WriterPort().Write(p, kpn.Token{Seq: i})
+				// The pattern bits decide extra reads this round.
+				if pattern&(1<<(uint(i)%16)) != 0 {
+					read1()
+				}
+				if pattern&(1<<((uint(i)+5)%16)) != 0 {
+					read2()
+				}
+			}
+		})
+		k.Run(0)
+		k.Shutdown()
+		if len(sa1) != len(sb1) || len(sa2) != len(sb2) {
+			return false
+		}
+		for i := range sa1 {
+			if sa1[i] != sb1[i] {
+				return false
+			}
+		}
+		for i := range sa2 {
+			if sa2[i] != sb2[i] {
+				return false
+			}
+		}
+		// Neither design flagged anything in this fault-free run.
+		af1, _, _ := a.Faulty(1)
+		bf1, _, _ := b.Faulty(1)
+		return af1 == bf1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,109 @@
+package kpn
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Static network analysis: structural checks a designer runs before
+// sizing a network with real-time calculus. A cycle of channels with no
+// initial tokens anywhere on it is a guaranteed deadlock in a blocking
+// KPN (every process on the cycle waits for input that can only come
+// from the cycle itself); a cycle whose initial tokens are fewer than
+// its process count may still throttle throughput.
+
+// Cycle is one elementary cycle of the channel graph, as an ordered
+// list of channel names.
+type Cycle struct {
+	Channels      []string
+	InitialTokens int
+}
+
+// String implements fmt.Stringer.
+func (c Cycle) String() string {
+	return fmt.Sprintf("[%s] init=%d", strings.Join(c.Channels, " -> "), c.InitialTokens)
+}
+
+// Cycles enumerates the elementary cycles of the network's channel
+// graph (processes as vertices, channels as edges) via DFS from each
+// vertex; suitable for the small graphs of process networks.
+func (n *Network) Cycles() []Cycle {
+	// Adjacency: process -> outgoing channels.
+	adj := make(map[string][]ChannelSpec)
+	for _, c := range n.Chans {
+		adj[c.From] = append(adj[c.From], c)
+	}
+	var cycles []Cycle
+	seen := make(map[string]bool) // canonical cycle keys
+
+	var names []string
+	for _, p := range n.Procs {
+		names = append(names, p.Name)
+	}
+	sort.Strings(names)
+
+	var dfs func(start, cur string, pathChans []ChannelSpec, onPath map[string]bool)
+	dfs = func(start, cur string, pathChans []ChannelSpec, onPath map[string]bool) {
+		for _, c := range adj[cur] {
+			if c.To == start {
+				cyc := append(append([]ChannelSpec(nil), pathChans...), c)
+				key := canonicalCycleKey(cyc)
+				if !seen[key] {
+					seen[key] = true
+					var chNames []string
+					init := 0
+					for _, cc := range cyc {
+						chNames = append(chNames, cc.Name)
+						init += cc.InitialTokens
+					}
+					cycles = append(cycles, Cycle{Channels: chNames, InitialTokens: init})
+				}
+				continue
+			}
+			if onPath[c.To] {
+				continue
+			}
+			onPath[c.To] = true
+			dfs(start, c.To, append(pathChans, c), onPath)
+			delete(onPath, c.To)
+		}
+	}
+	for _, start := range names {
+		dfs(start, start, nil, map[string]bool{start: true})
+	}
+	sort.Slice(cycles, func(i, j int) bool {
+		return strings.Join(cycles[i].Channels, ",") < strings.Join(cycles[j].Channels, ",")
+	})
+	return cycles
+}
+
+// canonicalCycleKey rotates the channel list to its lexicographically
+// smallest rotation so each elementary cycle is counted once.
+func canonicalCycleKey(cyc []ChannelSpec) string {
+	names := make([]string, len(cyc))
+	for i, c := range cyc {
+		names[i] = c.Name
+	}
+	best := strings.Join(names, ",")
+	for r := 1; r < len(names); r++ {
+		rot := strings.Join(append(append([]string(nil), names[r:]...), names[:r]...), ",")
+		if rot < best {
+			best = rot
+		}
+	}
+	return best
+}
+
+// DeadlockRisks returns the cycles with zero initial tokens — certain
+// deadlocks under blocking semantics. A sound design either breaks such
+// cycles or preloads them (ChannelSpec.InitialTokens).
+func (n *Network) DeadlockRisks() []Cycle {
+	var out []Cycle
+	for _, c := range n.Cycles() {
+		if c.InitialTokens == 0 {
+			out = append(out, c)
+		}
+	}
+	return out
+}

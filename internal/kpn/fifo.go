@@ -1,0 +1,110 @@
+package kpn
+
+import (
+	"fmt"
+
+	"ftpn/internal/des"
+)
+
+// FIFO is a bounded channel with blocking, destructive reads and
+// blocking writes — the communication primitive of the reference process
+// network. It is single-simulation-threaded by construction (package
+// des), so no locking is needed.
+type FIFO struct {
+	k        *des.Kernel
+	name     string
+	capacity int
+	q        []Token
+	head     int
+	notEmpty des.Signal
+	notFull  des.Signal
+	obs      []Observer
+
+	reads, writes int64
+	maxFill       int
+}
+
+// NewFIFO creates a bounded FIFO channel. Capacity must be positive.
+func NewFIFO(k *des.Kernel, name string, capacity int) *FIFO {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("kpn: FIFO %q capacity must be positive, got %d", name, capacity))
+	}
+	return &FIFO{k: k, name: name, capacity: capacity}
+}
+
+// PortName implements ReadPort and WritePort.
+func (f *FIFO) PortName() string { return f.name }
+
+// Capacity returns the channel's bounded capacity.
+func (f *FIFO) Capacity() int { return f.capacity }
+
+// Fill returns the current number of queued tokens.
+func (f *FIFO) Fill() int { return len(f.q) - f.head }
+
+// MaxFill returns the highest fill level ever observed (the paper's
+// "Max. Observed Fill" row of Table 2).
+func (f *FIFO) MaxFill() int { return f.maxFill }
+
+// Reads and Writes return operation counters.
+func (f *FIFO) Reads() int64  { return f.reads }
+func (f *FIFO) Writes() int64 { return f.writes }
+
+// Observe registers an observer for write/read events.
+func (f *FIFO) Observe(o Observer) { f.obs = append(f.obs, o) }
+
+// Preload inserts tokens before the simulation starts, implementing the
+// initial fill F_{C,0} of eq. 4. It must not overflow the capacity.
+func (f *FIFO) Preload(toks []Token) {
+	if f.Fill()+len(toks) > f.capacity {
+		panic(fmt.Sprintf("kpn: preloading %d tokens overflows FIFO %q (cap %d, fill %d)",
+			len(toks), f.name, f.capacity, f.Fill()))
+	}
+	f.q = append(f.q, toks...)
+	if fill := f.Fill(); fill > f.maxFill {
+		f.maxFill = fill
+	}
+}
+
+// Write implements WritePort: blocks while the queue is full.
+func (f *FIFO) Write(p *des.Proc, tok Token) {
+	for f.Fill() >= f.capacity {
+		p.Wait(&f.notFull)
+	}
+	f.q = append(f.q, tok)
+	f.writes++
+	if fill := f.Fill(); fill > f.maxFill {
+		f.maxFill = fill
+	}
+	f.k.Broadcast(&f.notEmpty)
+	for _, o := range f.obs {
+		o.OnWrite(f.k.Now(), tok, f.Fill())
+	}
+}
+
+// Read implements ReadPort: blocks while the queue is empty.
+func (f *FIFO) Read(p *des.Proc) Token {
+	for f.Fill() == 0 {
+		p.Wait(&f.notEmpty)
+	}
+	tok := f.q[f.head]
+	f.q[f.head] = Token{} // release payload for GC
+	f.head++
+	f.reads++
+	if f.head == len(f.q) { // compact when drained
+		f.q = f.q[:0]
+		f.head = 0
+	} else if f.head > 1024 && f.head*2 > len(f.q) {
+		f.q = append(f.q[:0], f.q[f.head:]...)
+		f.head = 0
+	}
+	f.k.Broadcast(&f.notFull)
+	for _, o := range f.obs {
+		o.OnRead(f.k.Now(), tok, f.Fill())
+	}
+	return tok
+}
+
+var (
+	_ ReadPort  = (*FIFO)(nil)
+	_ WritePort = (*FIFO)(nil)
+)

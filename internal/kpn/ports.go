@@ -1,0 +1,69 @@
+package kpn
+
+import (
+	"ftpn/internal/des"
+	"ftpn/internal/scc"
+)
+
+// transferPort wraps a WritePort so that every write first pays the
+// SCC message-passing latency from the writer's core to the reader's
+// core, modeling an iRCCE chunked MPB transfer.
+type transferPort struct {
+	inner    WritePort
+	chip     *scc.Chip
+	from, to *scc.Core
+	// fallbackBytes is used when a token has no payload (timing-only
+	// simulations where TokenBytes stands in for real data).
+	fallbackBytes int
+}
+
+// WithTransfer wraps port so writes are delayed by the chip's transfer
+// time for the token's payload size (or fallbackBytes for empty
+// payloads) between the two cores.
+func WithTransfer(port WritePort, chip *scc.Chip, from, to *scc.Core, fallbackBytes int) WritePort {
+	return &transferPort{inner: port, chip: chip, from: from, to: to, fallbackBytes: fallbackBytes}
+}
+
+// Write implements WritePort.
+func (t *transferPort) Write(p *des.Proc, tok Token) {
+	bytes := tok.Size()
+	if bytes == 0 {
+		bytes = t.fallbackBytes
+	}
+	p.Delay(t.chip.TransferTime(t.from, t.to, bytes))
+	t.inner.Write(p, tok)
+}
+
+// PortName implements WritePort.
+func (t *transferPort) PortName() string { return t.inner.PortName() }
+
+// readTransferPort wraps a ReadPort so every read pays the transfer
+// latency of moving the token from the channel's host core to the
+// reader's core (used when a channel such as a replicator is hosted on
+// reliable hardware away from the reading replica).
+type readTransferPort struct {
+	inner         ReadPort
+	chip          *scc.Chip
+	from, to      *scc.Core
+	fallbackBytes int
+}
+
+// WithReadTransfer wraps port so reads are delayed by the chip's
+// transfer time for the token's payload size between the two cores.
+func WithReadTransfer(port ReadPort, chip *scc.Chip, from, to *scc.Core, fallbackBytes int) ReadPort {
+	return &readTransferPort{inner: port, chip: chip, from: from, to: to, fallbackBytes: fallbackBytes}
+}
+
+// Read implements ReadPort.
+func (t *readTransferPort) Read(p *des.Proc) Token {
+	tok := t.inner.Read(p)
+	bytes := tok.Size()
+	if bytes == 0 {
+		bytes = t.fallbackBytes
+	}
+	p.Delay(t.chip.TransferTime(t.from, t.to, bytes))
+	return tok
+}
+
+// PortName implements ReadPort.
+func (t *readTransferPort) PortName() string { return t.inner.PortName() }

@@ -1,0 +1,70 @@
+// Package kpn implements the real-time dataflow process-network runtime
+// the paper's framework operates on: determinate Kahn-style process
+// networks with bounded FIFO channels, blocking read/write semantics,
+// and <period, jitter, delay> timing at the producer/consumer interfaces
+// (Section 2 of the paper).
+//
+// Networks are described as graphs (Network) and instantiated onto a
+// discrete-event kernel (package des), optionally placed onto cores of
+// the SCC platform model (package scc) so that channel writes pay
+// realistic message-passing latency.
+package kpn
+
+import (
+	"hash/fnv"
+
+	"ftpn/internal/des"
+)
+
+// Token is one unit of data flowing through a channel. Seq is the
+// monotonically increasing sequence number within its stream (the j of
+// the paper's T_k[j]); Stamp is the virtual time the token was produced
+// (the paper's t(k, j)). Payload carries the actual application data.
+type Token struct {
+	Seq     int64
+	Stamp   des.Time
+	Payload []byte
+}
+
+// Hash returns an FNV-1a digest of the payload, used by equivalence
+// checks to compare token values cheaply.
+func (t Token) Hash() uint64 {
+	h := fnv.New64a()
+	h.Write(t.Payload) //nolint:errcheck // hash.Hash never errors
+	return h.Sum64()
+}
+
+// Size returns the payload size in bytes.
+func (t Token) Size() int { return len(t.Payload) }
+
+// ReadPort is the reader side of a channel: a destructive, blocking read
+// (Section 2: "a process attempting to read tokens from an empty input
+// FIFO queue will block").
+type ReadPort interface {
+	// Read blocks the calling process until a token is available, then
+	// removes and returns it.
+	Read(p *des.Proc) Token
+	// PortName identifies the port for diagnostics and topology dumps.
+	PortName() string
+}
+
+// WritePort is the writer side of a channel: a blocking write ("a
+// process attempting to write tokens to a full output FIFO queue will
+// block").
+type WritePort interface {
+	// Write blocks the calling process until the channel can accept the
+	// token, then enqueues it.
+	Write(p *des.Proc, tok Token)
+	PortName() string
+}
+
+// Observer receives channel events; used by measurement (package trace)
+// and by external fault monitors (package detect) that watch token
+// arrivals without disturbing the stream.
+type Observer interface {
+	// OnWrite fires after a token is enqueued. fill is the queue fill
+	// level after the operation.
+	OnWrite(now des.Time, tok Token, fill int)
+	// OnRead fires after a token is dequeued.
+	OnRead(now des.Time, tok Token, fill int)
+}

@@ -1,0 +1,154 @@
+package rtc
+
+// This file implements the analytic formulas of Section 3.4 of the paper.
+// All analyses scan interval lengths Δ = 0..horizon; the curves used in
+// this repository are integer-tick step functions, so evaluating at every
+// integer Δ is exact. Horizons are chosen by the caller (rtc.Horizon
+// gives a safe default for PJD models); convergence within the horizon is
+// verified and ErrUnbounded returned otherwise.
+
+// BufferCapacity computes the minimum FIFO capacity |F_P| such that a
+// producer with upper arrival curve prodUpper never blocks on a consumer
+// with lower service/arrival curve consLower (eq. 3):
+//
+//	α_P^u(Δ) <= α_in^l(Δ) + |F_P|   for all Δ >= 0.
+//
+// The capacity is the supremum of the difference of the two curves. The
+// scan verifies convergence: the supremum must not be attained only at
+// the very end of the horizon with the difference still growing.
+func BufferCapacity(prodUpper, consLower Curve, horizon Time) (Count, error) {
+	return supDiff(prodUpper, consLower, horizon)
+}
+
+// InitialFill computes the minimum number of tokens F_{C,0} that must be
+// pre-loaded into the consumer-side FIFO so the consumer never stalls on
+// an empty queue (eq. 4):
+//
+//	α_out^l(Δ) >= α_C^u(Δ) - F_{C,0}   for all Δ >= 0,
+//
+// i.e. F_{C,0} = sup_Δ { α_C^u(Δ) - α_out^l(Δ) }.
+func InitialFill(outLower, consUpper Curve, horizon Time) (Count, error) {
+	return supDiff(consUpper, outLower, horizon)
+}
+
+// DivergenceThreshold computes the smallest integer D that can never be
+// reached by the difference in total tokens received from two fault-free
+// replicas (eq. 5):
+//
+//	D > sup_{i≠j, λ>=0} { α_{i,out}^u(λ) - α_{j,out}^l(λ) }.
+//
+// Both orderings (1 vs 2 and 2 vs 1) are considered. A selector (or
+// replicator) using this D is guaranteed free of false positives.
+func DivergenceThreshold(upper1, lower1, upper2, lower2 Curve, horizon Time) (Count, error) {
+	s12, err := supDiff(upper1, lower2, horizon)
+	if err != nil {
+		return 0, err
+	}
+	s21, err := supDiff(upper2, lower1, horizon)
+	if err != nil {
+		return 0, err
+	}
+	s := s12
+	if s21 > s {
+		s = s21
+	}
+	// Smallest integer strictly greater than the supremum.
+	return s + 1, nil
+}
+
+// DetectionBound computes the maximum time to detect a fault (eq. 6): the
+// smallest Δ such that the healthy replica's lower curve exceeds the
+// faulty replica's post-fault upper curve by at least 2D-1 tokens:
+//
+//	inf { Δ | (α_healthy^l - ᾱ_faulty^u)(Δ) >= 2D-1 }.
+//
+// Pass rtc.Zero as faultyUpper for a replica that stops producing
+// entirely (eq. 8). ErrUnreachable is returned when the gap is never
+// reached within the horizon (the "faulty" curve still satisfies the
+// constraints, i.e. it is not detectably faulty).
+func DetectionBound(healthyLower, faultyUpper Curve, d Count, horizon Time) (Time, error) {
+	h, err := validateHorizon(horizon)
+	if err != nil {
+		return 0, err
+	}
+	need := 2*d - 1
+	for delta := Time(0); delta <= h; delta++ {
+		if healthyLower.Eval(delta)-faultyUpper.Eval(delta) >= need {
+			return delta, nil
+		}
+	}
+	return 0, ErrUnreachable
+}
+
+// MaxDetectionBound generalizes DetectionBound over all replica pairs
+// (eq. 7): the worst case over which replica is faulty. healthyLowers[i]
+// and faultyUppers[i] describe replica i's healthy lower curve and its
+// assumed post-fault upper curve; the bound for "replica j faulty" uses
+// every other replica i's healthy lower curve against ᾱ_j^u, and the
+// result is the maximum over all such pairs of the per-pair infimum.
+func MaxDetectionBound(healthyLowers, faultyUppers []Curve, d Count, horizon Time) (Time, error) {
+	if len(healthyLowers) != len(faultyUppers) || len(healthyLowers) < 2 {
+		return 0, ErrUnreachable
+	}
+	var worst Time
+	found := false
+	for j := range faultyUppers {
+		for i := range healthyLowers {
+			if i == j {
+				continue
+			}
+			b, err := DetectionBound(healthyLowers[i], faultyUppers[j], d, horizon)
+			if err != nil {
+				return 0, err
+			}
+			if b > worst {
+				worst = b
+			}
+			found = true
+		}
+	}
+	if !found {
+		return 0, ErrUnreachable
+	}
+	return worst, nil
+}
+
+// StoppedDetectionBound specializes eq. 8: the faulty replica produces
+// nothing after the fault, so the bound is the worst case over replicas
+// of inf { Δ | α_i^l(Δ) >= 2D-1 }.
+func StoppedDetectionBound(healthyLowers []Curve, d Count, horizon Time) (Time, error) {
+	var worst Time
+	for _, l := range healthyLowers {
+		b, err := DetectionBound(l, Zero, d, horizon)
+		if err != nil {
+			return 0, err
+		}
+		if b > worst {
+			worst = b
+		}
+	}
+	return worst, nil
+}
+
+// supDiff computes sup_{0<=Δ<=horizon} { a(Δ) - b(Δ) }, verifying that
+// the supremum has stabilized: if a new maximum is still being attained
+// in the last eighth of the horizon, the difference is considered
+// divergent and ErrUnbounded is returned.
+func supDiff(a, b Curve, horizon Time) (Count, error) {
+	h, err := validateHorizon(horizon)
+	if err != nil {
+		return 0, err
+	}
+	var sup Count
+	lastImprove := Time(0)
+	for delta := Time(0); delta <= h; delta++ {
+		if d := a.Eval(delta) - b.Eval(delta); d > sup {
+			sup = d
+			lastImprove = delta
+		}
+	}
+	if h >= 16 && lastImprove > h-h/8 {
+		return 0, ErrUnbounded
+	}
+	return sup, nil
+}

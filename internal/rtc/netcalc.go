@@ -1,0 +1,167 @@
+package rtc
+
+// Network-calculus extensions: service curves and the standard
+// (min,+)-algebra bounds. The paper sizes queues from arrival curves it
+// assumes given at every interface (§3.4, citing interface-based rate
+// analysis); these helpers derive such interface curves from first
+// principles — a stage's output envelope from its input envelope and a
+// service-curve model of the stage — so the per-replica envelopes need
+// not be hand-calibrated.
+//
+// All operators are evaluated numerically over integer-tick horizons,
+// which is exact for the staircase curves used throughout this package.
+
+import "fmt"
+
+// ServiceCurve is a lower service curve β(Δ): a guarantee that any
+// backlogged interval of length Δ sees at least β(Δ) tokens served.
+type ServiceCurve interface {
+	// Eval returns the guaranteed service in any window of length delta.
+	Eval(delta Time) Count
+}
+
+// RateLatency is the classical β_{R,T} service curve: after an initial
+// latency T, service proceeds at R tokens per Per ticks —
+// β(Δ) = max(0, floor((Δ-T) * R / Per)).
+type RateLatency struct {
+	LatencyUs Time
+	Rate      Count // tokens per Per ticks
+	Per       Time
+}
+
+// Validate reports whether the curve parameters are usable.
+func (s RateLatency) Validate() error {
+	if s.LatencyUs < 0 {
+		return fmt.Errorf("rtc: service latency must be non-negative, got %d", s.LatencyUs)
+	}
+	if s.Rate <= 0 || s.Per <= 0 {
+		return fmt.Errorf("rtc: service rate must be positive, got %d/%d", s.Rate, s.Per)
+	}
+	return nil
+}
+
+// Eval implements ServiceCurve.
+func (s RateLatency) Eval(delta Time) Count {
+	if delta <= s.LatencyUs {
+		return 0
+	}
+	return Count((delta - s.LatencyUs)) * s.Rate / Count(s.Per)
+}
+
+// StageService models one pipeline stage as a rate-latency server: a
+// stage that takes between MinUs and MaxUs per token offers (to a
+// backlogged input) one token per MaxUs after an initial MaxUs latency.
+func StageService(minUs, maxUs Time) (RateLatency, error) {
+	if minUs < 0 || maxUs < minUs || maxUs <= 0 {
+		return RateLatency{}, fmt.Errorf("rtc: invalid stage bounds [%d,%d]", minUs, maxUs)
+	}
+	return RateLatency{LatencyUs: maxUs, Rate: 1, Per: maxUs}, nil
+}
+
+// OutputBound computes the tightest upper arrival curve of a stage's
+// output given the input's upper arrival curve and the stage's lower
+// service curve — the (min,+) deconvolution α' = α ⊘ β:
+//
+//	α'(Δ) = sup_{u >= 0} { α(Δ+u) − β(u) },
+//
+// evaluated over u in [0, horizon]. The supremum must stabilize within
+// the horizon or ErrUnbounded is returned (an input faster than the
+// service rate has no bounded output envelope... or backlog).
+func OutputBound(input Curve, service ServiceCurve, horizon Time) (Curve, error) {
+	h, err := validateHorizon(horizon)
+	if err != nil {
+		return nil, err
+	}
+	// Precompute the output curve as an explicit table up to the horizon.
+	vals := make([]Count, h+1)
+	for delta := Time(0); delta <= h; delta++ {
+		var sup Count
+		lastImprove := Time(0)
+		for u := Time(0); u <= h; u++ {
+			if v := input.Eval(delta+u) - service.Eval(u); v > sup {
+				sup = v
+				lastImprove = u
+			}
+		}
+		if h >= 16 && lastImprove > h-h/8 {
+			return nil, ErrUnbounded
+		}
+		vals[delta] = sup
+	}
+	rate := vals[h] - vals[h-1]
+	if rate < 0 {
+		rate = 0
+	}
+	return CurveFunc(func(delta Time) Count {
+		if delta <= 0 {
+			return 0
+		}
+		if delta <= h {
+			return vals[delta]
+		}
+		return vals[h] + rate*Count(delta-h) // linear extension
+	}), nil
+}
+
+// DelayBound computes the classical horizontal-deviation delay bound
+// h(α, β): the maximum time a token can spend in a stage with input
+// envelope α and service curve β,
+//
+//	h = sup_{t >= 0} inf { d >= 0 | α(t) <= β(t+d) }.
+func DelayBound(input Curve, service ServiceCurve, horizon Time) (Time, error) {
+	h, err := validateHorizon(horizon)
+	if err != nil {
+		return 0, err
+	}
+	var worst Time
+	lastImprove := Time(0)
+	for t := Time(0); t <= h; t++ {
+		need := input.Eval(t)
+		if need == 0 {
+			continue
+		}
+		// Find the smallest d with β(t+d) >= need.
+		d, found := Time(0), false
+		for ; t+d <= 4*h; d++ {
+			if service.Eval(t+d) >= need {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return 0, ErrUnbounded
+		}
+		if d > worst {
+			worst = d
+			lastImprove = t
+		}
+	}
+	// A bound still growing at the end of the horizon indicates an
+	// overloaded server: the true supremum is infinite.
+	if h >= 16 && lastImprove > h-h/8 {
+		return 0, ErrUnbounded
+	}
+	return worst, nil
+}
+
+// BacklogBound computes the vertical deviation v(α, β): the maximum
+// number of tokens simultaneously queued in the stage — directly usable
+// as an internal FIFO capacity.
+func BacklogBound(input Curve, service ServiceCurve, horizon Time) (Count, error) {
+	return supDiff(input, CurveFunc(service.Eval), horizon)
+}
+
+// PipelineOutputBound chains OutputBound through consecutive stages,
+// returning the envelope of the final stage's output — the analytic
+// derivation of a replica's production envelope from its stage models.
+func PipelineOutputBound(input Curve, stages []ServiceCurve, horizon Time) (Curve, error) {
+	cur := input
+	for i, s := range stages {
+		out, err := OutputBound(cur, s, horizon)
+		if err != nil {
+			return nil, fmt.Errorf("rtc: pipeline stage %d: %w", i, err)
+		}
+		cur = out
+	}
+	return cur, nil
+}

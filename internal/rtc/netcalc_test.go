@@ -1,0 +1,172 @@
+package rtc
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestRateLatencyEval(t *testing.T) {
+	s := RateLatency{LatencyUs: 100, Rate: 1, Per: 10}
+	cases := []struct {
+		delta Time
+		want  Count
+	}{
+		{0, 0}, {100, 0}, {109, 0}, {110, 1}, {200, 10}, {1100, 100},
+	}
+	for _, c := range cases {
+		if got := s.Eval(c.delta); got != c.want {
+			t.Errorf("β(%d) = %d, want %d", c.delta, got, c.want)
+		}
+	}
+	if err := s.Validate(); err != nil {
+		t.Error(err)
+	}
+	if (RateLatency{LatencyUs: -1, Rate: 1, Per: 1}).Validate() == nil {
+		t.Error("negative latency should fail")
+	}
+	if (RateLatency{Rate: 0, Per: 1}).Validate() == nil {
+		t.Error("zero rate should fail")
+	}
+}
+
+func TestStageService(t *testing.T) {
+	s, err := StageService(100, 250)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.LatencyUs != 250 || s.Rate != 1 || s.Per != 250 {
+		t.Errorf("stage service = %+v", s)
+	}
+	if _, err := StageService(10, 5); err == nil {
+		t.Error("max < min should fail")
+	}
+	if _, err := StageService(-1, 5); err == nil {
+		t.Error("negative min should fail")
+	}
+}
+
+func TestOutputBoundSlowServer(t *testing.T) {
+	// Periodic input (p=100), server needs up to 60 per token: the
+	// output envelope widens (burstier) but keeps the long-run rate.
+	in := PJD{Period: 100, Jitter: 0}
+	svc, _ := StageService(20, 60)
+	out, err := OutputBound(in.Upper(), svc, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Long-run rate preserved: the output envelope may exceed the input
+	// count at equal Δ by a small burst allowance (tokens accumulated
+	// during the service latency), but not by more.
+	if got, want := out.Eval(3000), in.Upper().Eval(3000)+3; got > want {
+		t.Errorf("output envelope rate too high: %d > %d", got, want)
+	}
+	// And it must dominate the input envelope shifted by the latency: a
+	// burst can exit back-to-back.
+	if out.Eval(100) < in.Upper().Eval(100) {
+		t.Errorf("output envelope below input: %d < %d", out.Eval(100), in.Upper().Eval(100))
+	}
+	// Monotone, zero at zero.
+	if out.Eval(0) != 0 || out.Eval(500) > out.Eval(501) {
+		t.Error("output envelope not a valid curve")
+	}
+}
+
+func TestOutputBoundUnboundedWhenOverloaded(t *testing.T) {
+	// Input every 50, server takes 100 per token: backlog diverges.
+	in := PJD{Period: 50}
+	svc, _ := StageService(100, 100)
+	if _, err := OutputBound(in.Upper(), svc, 3000); !errors.Is(err, ErrUnbounded) {
+		t.Errorf("err = %v, want ErrUnbounded", err)
+	}
+}
+
+func TestDelayBound(t *testing.T) {
+	// Strictly periodic input p=100 through a 60-max server: delay
+	// bounded by service latency + one service quantum.
+	in := PJD{Period: 100}
+	svc, _ := StageService(20, 60)
+	d, err := DelayBound(in.Upper(), svc, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d <= 0 || d > 200 {
+		t.Errorf("delay bound = %d, want small positive", d)
+	}
+	// A slower server must not decrease the bound.
+	svc2, _ := StageService(20, 90)
+	d2, err := DelayBound(in.Upper(), svc2, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2 < d {
+		t.Errorf("slower server reduced delay bound: %d < %d", d2, d)
+	}
+}
+
+func TestDelayBoundUnbounded(t *testing.T) {
+	in := PJD{Period: 50}
+	svc, _ := StageService(80, 80)
+	if _, err := DelayBound(in.Upper(), svc, 2000); !errors.Is(err, ErrUnbounded) {
+		t.Errorf("err = %v, want ErrUnbounded", err)
+	}
+}
+
+func TestBacklogBound(t *testing.T) {
+	in := PJD{Period: 100, Jitter: 150}
+	svc, _ := StageService(20, 60)
+	bk, err := BacklogBound(in.Upper(), svc, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bk < 1 || bk > 10 {
+		t.Errorf("backlog bound = %d, want small positive", bk)
+	}
+	// More jitter, more backlog.
+	in2 := PJD{Period: 100, Jitter: 400}
+	bk2, err := BacklogBound(in2.Upper(), svc, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bk2 < bk {
+		t.Errorf("jitter should not shrink backlog: %d < %d", bk2, bk)
+	}
+}
+
+func TestPipelineOutputBound(t *testing.T) {
+	in := PJD{Period: 100, Jitter: 20}
+	s1, _ := StageService(10, 40)
+	s2, _ := StageService(10, 50)
+	out, err := PipelineOutputBound(in.Upper(), []ServiceCurve{s1, s2}, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Long-run rate is preserved through the pipeline.
+	inRate := in.Upper().Eval(2000)
+	if got := out.Eval(2000); got > inRate+4 {
+		t.Errorf("pipeline output rate %d far above input %d", got, inRate)
+	}
+	// The derived envelope can size the replicator of a downstream
+	// duplicated system (end-to-end use of the netcalc layer).
+	cap, err := BufferCapacity(out, PJD{Period: 100, Jitter: 100}.Lower(), 8000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cap < 1 {
+		t.Errorf("derived capacity = %d", cap)
+	}
+	// A failing stage propagates its error.
+	bad, _ := StageService(200, 200)
+	if _, err := PipelineOutputBound(in.Upper(), []ServiceCurve{s1, bad}, 2000); err == nil {
+		t.Error("overloaded stage should fail")
+	}
+}
+
+func TestOutputBoundBadHorizon(t *testing.T) {
+	svc, _ := StageService(1, 2)
+	if _, err := OutputBound(Zero, svc, 0); err == nil {
+		t.Error("zero horizon should fail")
+	}
+	if _, err := DelayBound(Zero, svc, -1); err == nil {
+		t.Error("negative horizon should fail")
+	}
+}

@@ -1,0 +1,61 @@
+// Package rtc implements the fragment of real-time calculus needed by the
+// fault-tolerance framework of Rai et al. (DAC 2014): arrival curves for
+// event streams, the PJD (period, jitter, minimum-distance) event model,
+// and the analytic formulas used to size FIFO queues (eq. 3), compute
+// initial fill levels (eq. 4), derive the divergence threshold D (eq. 5),
+// and bound fault-detection latency (eq. 6-8).
+//
+// Time is measured in integer ticks; throughout this repository one tick
+// is one microsecond of virtual time. Arrival curves are wide-sense
+// increasing step functions over interval lengths Δ >= 0: an upper curve
+// α^u(Δ) bounds the maximum and a lower curve α^l(Δ) the minimum number
+// of events observable in any window of length Δ.
+package rtc
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Time is a duration or instant of virtual time, in ticks (microseconds).
+type Time = int64
+
+// Count is a number of tokens (stream events).
+type Count = int64
+
+// Curve is an arrival curve: a wide-sense increasing function from an
+// interval length Δ (in ticks) to a token count. Implementations must
+// return 0 for Δ <= 0 and be monotone in Δ.
+type Curve interface {
+	// Eval returns the curve value at interval length delta.
+	Eval(delta Time) Count
+}
+
+// CurveFunc adapts an ordinary function to the Curve interface.
+type CurveFunc func(delta Time) Count
+
+// Eval implements Curve.
+func (f CurveFunc) Eval(delta Time) Count { return f(delta) }
+
+// Zero is the arrival curve that is identically zero. It models a stream
+// that has stopped entirely, e.g. a replica suffering a fail-silent
+// timing fault (the ᾱ^u of eq. 8).
+var Zero Curve = CurveFunc(func(Time) Count { return 0 })
+
+// ErrUnbounded is returned by analyses whose supremum does not stabilize
+// within the scan horizon, which indicates diverging long-run rates
+// (e.g. a producer strictly faster than its consumer: no finite FIFO
+// capacity exists).
+var ErrUnbounded = errors.New("rtc: supremum does not converge within horizon")
+
+// ErrUnreachable is returned by detection-latency bounds when the
+// required token-count gap is never reached within the scan horizon.
+var ErrUnreachable = errors.New("rtc: bound not reached within horizon")
+
+// validateHorizon normalizes a scan horizon, rejecting non-positive ones.
+func validateHorizon(h Time) (Time, error) {
+	if h <= 0 {
+		return 0, fmt.Errorf("rtc: horizon must be positive, got %d", h)
+	}
+	return h, nil
+}

@@ -1,0 +1,88 @@
+package scc
+
+import (
+	"fmt"
+
+	"ftpn/internal/des"
+)
+
+// CostModel parameterizes the virtual-time cost of an iRCCE-style
+// message transfer between two cores. A message of n bytes is split into
+// ceil(n / MaxChunkBytes) chunks; each chunk costs
+//
+//	ChunkOverheadNs + n_chunk*PerByteNs + hops*PerHopNs
+//
+// nanoseconds, and the total is rounded up to whole microseconds (the
+// tick granularity of the simulation). The defaults are calibrated to
+// published SCC MPB measurements (Clauss et al., HPCS 2011; Rai et al.,
+// ROME 2013): roughly 1 µs per KB of payload end to end, with a few
+// microseconds of flag-synchronization overhead per chunk and tens of
+// nanoseconds per router hop.
+type CostModel struct {
+	ChunkOverheadNs int64 // per-chunk synchronization (MPB flags, fences)
+	PerByteNs       int64 // copy in + route + copy out, per payload byte
+	PerHopNs        int64 // additional mesh latency per router hop per chunk
+	// DDRPerByteNs is the per-byte cost when a chunk exceeds the MPB
+	// chunk limit and must bounce through DDR3 instead — the slow path
+	// the paper avoids by capping chunks at 3 KB ("ensuring that all
+	// messages are routed exclusively via the message passing buffers").
+	DDRPerByteNs int64
+}
+
+// DefaultCostModel returns the calibrated cost parameters described on
+// CostModel.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		ChunkOverheadNs: 2000, // ~2 µs chunk setup/notify
+		PerByteNs:       1,    // ~1 GB/s effective MPB path
+		PerHopNs:        50,   // 4 router cycles @800 MHz ≈ 5 ns, plus buffering
+		DDRPerByteNs:    6,    // off-chip round trip ≈ 6x the MPB path
+	}
+}
+
+// Validate reports whether the model is usable.
+func (m CostModel) Validate() error {
+	if m.ChunkOverheadNs < 0 || m.PerByteNs < 0 || m.PerHopNs < 0 {
+		return fmt.Errorf("scc: cost model fields must be non-negative: %+v", m)
+	}
+	if m.ChunkOverheadNs == 0 && m.PerByteNs == 0 {
+		return fmt.Errorf("scc: cost model would make all transfers free")
+	}
+	return nil
+}
+
+// TransferTime returns the virtual time (ticks = µs) to move a message
+// of the given size from one core to another, using the paper's 3 KB
+// MPB chunking. Every transfer costs at least one tick. Intra-tile
+// transfers still pay the MPB copy costs but no hop latency.
+func (ch *Chip) TransferTime(from, to *Core, bytes int) des.Time {
+	return ch.TransferTimeChunked(from, to, bytes, MaxChunkBytes)
+}
+
+// TransferTimeChunked is TransferTime with an explicit chunk size, the
+// knob behind the chunking ablation: chunks above MaxChunkBytes cannot
+// stay in the MPBs and pay the DDR3 per-byte cost instead.
+func (ch *Chip) TransferTimeChunked(from, to *Core, bytes, chunkBytes int) des.Time {
+	if bytes < 0 {
+		panic(fmt.Sprintf("scc: negative transfer size %d", bytes))
+	}
+	if chunkBytes <= 0 {
+		panic(fmt.Sprintf("scc: chunk size must be positive, got %d", chunkBytes))
+	}
+	m := ch.cfg.Cost
+	hops := int64(ch.Hops(from, to))
+	chunks := int64((bytes + chunkBytes - 1) / chunkBytes)
+	if chunks == 0 {
+		chunks = 1 // zero-payload control message still synchronizes
+	}
+	perByte := m.PerByteNs
+	if chunkBytes > MaxChunkBytes {
+		perByte = m.DDRPerByteNs
+	}
+	ns := chunks*(m.ChunkOverheadNs+hops*m.PerHopNs) + int64(bytes)*perByte
+	us := (ns + 999) / 1000
+	if us < 1 {
+		us = 1
+	}
+	return us
+}

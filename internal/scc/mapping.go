@@ -1,0 +1,49 @@
+package scc
+
+import "fmt"
+
+// MapPipeline places n communicating processes on n distinct tiles (one
+// process per tile, as the paper maps them) such that consecutive
+// pipeline stages sit on adjacent tiles and their XY routes do not cross:
+// tiles are visited in a serpentine (boustrophedon) order through the
+// mesh, which keeps every stage-to-stage route a single hop and removes
+// router cross-traffic — the low-contention mapping of Zimmer et al.
+// that §4.1 cites. Core 0 of each chosen tile is returned.
+func (ch *Chip) MapPipeline(n int) ([]*Core, error) {
+	if n < 1 || n > NumTiles {
+		return nil, fmt.Errorf("scc: cannot map %d processes one-per-tile onto %d tiles", n, NumTiles)
+	}
+	cores := make([]*Core, 0, n)
+	for i := 0; i < n; i++ {
+		y := i / MeshWidth
+		x := i % MeshWidth
+		if y%2 == 1 { // serpentine: odd rows run right-to-left
+			x = MeshWidth - 1 - x
+		}
+		tile := y*MeshWidth + x
+		cores = append(cores, ch.cores[tile*CoresPerTile])
+	}
+	return cores, nil
+}
+
+// RouteContention counts how many tile routers are shared between the
+// XY routes of distinct (src, dst) core pairs in the given placement's
+// consecutive stages. A serpentine pipeline placement scores zero for
+// interior routers; higher scores mean more cross-traffic.
+func (ch *Chip) RouteContention(stages []*Core) int {
+	use := make(map[int]int)
+	for i := 0; i+1 < len(stages); i++ {
+		route := ch.Route(stages[i], stages[i+1])
+		// Interior routers only: endpoints legitimately serve their tiles.
+		for _, t := range route[1:max(1, len(route)-1)] {
+			use[t]++
+		}
+	}
+	contention := 0
+	for _, n := range use {
+		if n > 1 {
+			contention += n - 1
+		}
+	}
+	return contention
+}

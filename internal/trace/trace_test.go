@@ -1,0 +1,156 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ftpn/internal/des"
+	"ftpn/internal/kpn"
+)
+
+func TestStatsBasics(t *testing.T) {
+	var s Stats
+	if s.Min() != 0 || s.Max() != 0 || s.Mean() != 0 || s.Count() != 0 {
+		t.Error("empty stats must report zeros")
+	}
+	for _, v := range []int64{5, 3, 9, 7} {
+		s.Add(v)
+	}
+	if s.Min() != 3 || s.Max() != 9 || s.Count() != 4 {
+		t.Errorf("min/max/count = %d/%d/%d", s.Min(), s.Max(), s.Count())
+	}
+	if s.Mean() != 6 {
+		t.Errorf("mean = %d, want 6", s.Mean())
+	}
+}
+
+func TestStatsMeanRounds(t *testing.T) {
+	var s Stats
+	s.Add(1)
+	s.Add(2) // mean 1.5 -> rounds to 2
+	if s.Mean() != 2 {
+		t.Errorf("mean = %d, want 2 (rounded)", s.Mean())
+	}
+}
+
+func TestStatsMerge(t *testing.T) {
+	var a, b, c Stats
+	a.Add(10)
+	a.Add(20)
+	b.Add(5)
+	b.Add(25)
+	a.Merge(&b)
+	if a.Min() != 5 || a.Max() != 25 || a.Count() != 4 || a.Mean() != 15 {
+		t.Errorf("merged = %s", a.String())
+	}
+	a.Merge(&c) // merging empty is a no-op
+	if a.Count() != 4 {
+		t.Error("merging empty changed count")
+	}
+	c.Merge(&a) // merging into empty adopts
+	if c.Min() != 5 || c.Max() != 25 {
+		t.Errorf("empty.Merge = %s", c.String())
+	}
+}
+
+func TestStatsMergeEqualsBulkAdd(t *testing.T) {
+	prop := func(xs []int16, split uint8) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		cut := int(split) % len(xs)
+		var all, a, b Stats
+		for _, x := range xs {
+			all.Add(int64(x))
+		}
+		for _, x := range xs[:cut] {
+			a.Add(int64(x))
+		}
+		for _, x := range xs[cut:] {
+			b.Add(int64(x))
+		}
+		a.Merge(&b)
+		return a.Min() == all.Min() && a.Max() == all.Max() &&
+			a.Mean() == all.Mean() && a.Count() == all.Count()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestArrivals(t *testing.T) {
+	var a Arrivals
+	for _, at := range []des.Time{0, 100, 230, 330} {
+		a.Record(at)
+	}
+	if a.Count() != 4 || len(a.Times()) != 4 {
+		t.Fatalf("count = %d", a.Count())
+	}
+	s := a.Inter(0)
+	if s.Min() != 100 || s.Max() != 130 || s.Count() != 3 {
+		t.Errorf("inter = %s", s.String())
+	}
+	// Skipping the warm-up gap.
+	s2 := a.Inter(1)
+	if s2.Count() != 2 || s2.Max() != 130 {
+		t.Errorf("inter(skip=1) = %s", s2.String())
+	}
+}
+
+func TestFillTracker(t *testing.T) {
+	k := des.NewKernel()
+	f := kpn.NewFIFO(k, "c", 8)
+	tr := NewFillTracker("c", 4)
+	f.Observe(tr)
+	k.Spawn("d", 0, func(p *des.Proc) {
+		for i := int64(1); i <= 6; i++ {
+			f.Write(p, kpn.Token{Seq: i})
+		}
+		f.Read(p)
+	})
+	k.Run(0)
+	if tr.MaxFill != 6 {
+		t.Errorf("MaxFill = %d, want 6", tr.MaxFill)
+	}
+	if len(tr.History()) != 4 {
+		t.Errorf("history kept %d samples, want cap 4", len(tr.History()))
+	}
+	// History disabled.
+	tr2 := NewFillTracker("c", 0)
+	tr2.OnWrite(0, kpn.Token{}, 3)
+	tr2.OnRead(1, kpn.Token{}, 2)
+	if tr2.MaxFill != 3 || len(tr2.History()) != 0 {
+		t.Errorf("no-history tracker: max=%d len=%d", tr2.MaxFill, len(tr2.History()))
+	}
+}
+
+func TestStatsPercentiles(t *testing.T) {
+	var s Stats
+	if s.Percentile(50) != 0 {
+		t.Error("empty percentile should be 0")
+	}
+	for v := int64(1); v <= 100; v++ {
+		s.Add(v)
+	}
+	cases := []struct {
+		p    float64
+		want int64
+	}{{50, 50}, {95, 95}, {99, 99}, {100, 100}, {1, 1}, {150, 100}, {-1, 0}}
+	for _, c := range cases {
+		if got := s.Percentile(c.p); got != c.want {
+			t.Errorf("p%.0f = %d, want %d", c.p, got, c.want)
+		}
+	}
+	// Percentiles survive a merge.
+	var a, b Stats
+	for v := int64(1); v <= 50; v++ {
+		a.Add(v)
+	}
+	for v := int64(51); v <= 100; v++ {
+		b.Add(v)
+	}
+	a.Merge(&b)
+	if got := a.Percentile(90); got != 90 {
+		t.Errorf("merged p90 = %d, want 90", got)
+	}
+}
