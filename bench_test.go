@@ -68,6 +68,25 @@ func table2Bench(b *testing.B, name string) {
 // BenchmarkTable2MJPEG regenerates the MJPEG block of Table 2.
 func BenchmarkTable2MJPEG(b *testing.B) { table2Bench(b, "mjpeg") }
 
+// BenchmarkTable2MJPEGSequential runs the same experiment with the
+// worker pool disabled — the baseline for the parallel-runner speedup
+// (compare against BenchmarkTable2MJPEG; identical output either way).
+func BenchmarkTable2MJPEGSequential(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		app, err := exp.AppByName("mjpeg", false, benchTokens)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := exp.Table2(app, 4, exp.WithParallelism(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Undetected != 0 || res.FalsePos != 0 {
+			b.Fatalf("undetected=%d falsePos=%d", res.Undetected, res.FalsePos)
+		}
+	}
+}
+
 // BenchmarkTable2ADPCM regenerates the ADPCM block of Table 2.
 func BenchmarkTable2ADPCM(b *testing.B) { table2Bench(b, "adpcm") }
 

@@ -5,51 +5,73 @@
 //	ftpnsim -exp table2 -app mjpeg -runs 20
 //	ftpnsim -exp table2 -app all   -runs 20
 //	ftpnsim -exp table3 -runs 20 -poll 1000
+//	ftpnsim -exp bench  -out BENCH_PR1.json
 //
-// Times are virtual (µs ticks) on the SCC platform model; see
-// EXPERIMENTS.md for the paper-vs-measured discussion.
+// Independent fault-injection runs execute on a worker pool (-parallel,
+// default GOMAXPROCS); results are aggregated in run order, so the
+// output is identical at any parallelism level. Times are virtual (µs
+// ticks) on the SCC platform model; see EXPERIMENTS.md for the
+// paper-vs-measured discussion.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
 
 	"ftpn/internal/des"
 	"ftpn/internal/exp"
 )
 
+// cliConfig carries the parsed command-line options.
+type cliConfig struct {
+	expName  string
+	appName  string
+	runs     int
+	pollUs   int64
+	tokens   int64
+	parallel int
+	out      string // bench report path, "-" = stdout
+}
+
 func main() {
-	var (
-		expName = flag.String("exp", "table2", "experiment: table1, table2 or table3")
-		appName = flag.String("app", "all", "application: mjpeg, adpcm, h264 or all")
-		runs    = flag.Int("runs", 20, "fault-injection runs per configuration")
-		pollUs  = flag.Int64("poll", 1000, "distance-function poll period in µs (table3)")
-		tokens  = flag.Int64("tokens", 0, "override workload length in tokens (0 = default)")
-	)
+	var cfg cliConfig
+	flag.StringVar(&cfg.expName, "exp", "table2", "experiment: table1, table2, table3, report, fills or bench")
+	flag.StringVar(&cfg.appName, "app", "all", "application: mjpeg, adpcm, h264 or all")
+	flag.IntVar(&cfg.runs, "runs", 20, "fault-injection runs per configuration")
+	flag.Int64Var(&cfg.pollUs, "poll", 1000, "distance-function poll period in µs (table3)")
+	flag.Int64Var(&cfg.tokens, "tokens", 0, "override workload length in tokens (0 = default)")
+	flag.IntVar(&cfg.parallel, "parallel", runtime.GOMAXPROCS(0), "worker goroutines for independent runs")
+	flag.StringVar(&cfg.out, "out", "BENCH_PR1.json", "bench report output path (- for stdout)")
 	flag.Parse()
-	if err := run(*expName, *appName, *runs, *pollUs, *tokens); err != nil {
+	if err := run(cfg); err != nil {
 		fmt.Fprintf(os.Stderr, "ftpnsim: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(expName, appName string, runs int, pollUs, tokens int64) error {
-	switch expName {
+func run(cfg cliConfig) error {
+	var opts []exp.Option
+	if cfg.parallel > 0 {
+		opts = append(opts, exp.WithParallelism(cfg.parallel))
+	}
+	switch cfg.expName {
 	case "table1":
 		fmt.Print(exp.FormatTable1(exp.Table1()))
 		return nil
 	case "table2":
 		names := []string{"mjpeg", "adpcm", "h264"}
-		if appName != "all" {
-			names = []string{appName}
+		if cfg.appName != "all" {
+			names = []string{cfg.appName}
 		}
 		for _, n := range names {
-			app, err := exp.AppByName(n, false, tokens)
+			app, err := exp.AppByName(n, false, cfg.tokens)
 			if err != nil {
 				return err
 			}
-			res, err := exp.Table2(app, runs)
+			res, err := exp.Table2(app, cfg.runs, opts...)
 			if err != nil {
 				return err
 			}
@@ -57,7 +79,7 @@ func run(expName, appName string, runs int, pollUs, tokens int64) error {
 		}
 		return nil
 	case "table3":
-		rows, err := exp.Table3(runs, des.Time(pollUs), des.Time(tokens))
+		rows, err := exp.Table3(cfg.runs, des.Time(cfg.pollUs), des.Time(cfg.tokens), opts...)
 		if err != nil {
 			return err
 		}
@@ -65,14 +87,15 @@ func run(expName, appName string, runs int, pollUs, tokens int64) error {
 		return nil
 	case "report":
 		return exp.WriteReport(os.Stdout, exp.ReportConfig{
-			Runs: runs, Tokens: tokens, PollUs: des.Time(pollUs),
+			Runs: cfg.runs, Tokens: cfg.tokens, PollUs: des.Time(cfg.pollUs),
+			Parallel: cfg.parallel,
 		})
 	case "fills":
-		name := appName
+		name := cfg.appName
 		if name == "all" {
 			name = "adpcm"
 		}
-		app, err := exp.AppByName(name, false, tokens)
+		app, err := exp.AppByName(name, false, cfg.tokens)
 		if err != nil {
 			return err
 		}
@@ -82,7 +105,24 @@ func run(expName, appName string, runs int, pollUs, tokens int64) error {
 		}
 		fmt.Print(exp.FormatFillProfile(samples, sizing, app, 1))
 		return nil
+	case "bench":
+		var w io.Writer = os.Stdout
+		if cfg.out != "-" && cfg.out != "" {
+			f, err := os.Create(cfg.out)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := exp.RunBenchSuite(w, os.Stderr); err != nil {
+			return err
+		}
+		if cfg.out != "-" && cfg.out != "" {
+			fmt.Fprintf(os.Stderr, "bench report written to %s\n", cfg.out)
+		}
+		return nil
 	default:
-		return fmt.Errorf("unknown experiment %q (want table1, table2, table3 or fills)", expName)
+		return fmt.Errorf("unknown experiment %q (want table1, table2, table3, report, fills or bench)", cfg.expName)
 	}
 }

@@ -2,8 +2,16 @@ package main
 
 import "testing"
 
+// cli builds a config with test defaults (sequential unless stated).
+func cli(expName, appName string, runs int, pollUs, tokens int64) cliConfig {
+	return cliConfig{
+		expName: expName, appName: appName, runs: runs,
+		pollUs: pollUs, tokens: tokens, parallel: 1, out: "-",
+	}
+}
+
 func TestRunTable1(t *testing.T) {
-	if err := run("table1", "all", 1, 1000, 0); err != nil {
+	if err := run(cli("table1", "all", 1, 1000, 0)); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -12,7 +20,18 @@ func TestRunTable2SingleApp(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
 	}
-	if err := run("table2", "adpcm", 2, 1000, 80); err != nil {
+	if err := run(cli("table2", "adpcm", 2, 1000, 80)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTable2Parallel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfg := cli("table2", "adpcm", 2, 1000, 80)
+	cfg.parallel = 4
+	if err := run(cfg); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -21,29 +40,29 @@ func TestRunTable3(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
 	}
-	if err := run("table3", "all", 2, 1000, 80); err != nil {
+	if err := run(cli("table3", "all", 2, 1000, 80)); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunFills(t *testing.T) {
-	if err := run("fills", "adpcm", 1, 1000, 60); err != nil {
+	if err := run(cli("fills", "adpcm", 1, 1000, 60)); err != nil {
 		t.Fatal(err)
 	}
 	// "all" falls back to the ADPCM profile.
-	if err := run("fills", "all", 1, 1000, 60); err != nil {
+	if err := run(cli("fills", "all", 1, 1000, 60)); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("nope", "all", 1, 1000, 0); err == nil {
+	if err := run(cli("nope", "all", 1, 1000, 0)); err == nil {
 		t.Error("unknown experiment should fail")
 	}
-	if err := run("table2", "unknown-app", 1, 1000, 0); err == nil {
+	if err := run(cli("table2", "unknown-app", 1, 1000, 0)); err == nil {
 		t.Error("unknown app should fail")
 	}
-	if err := run("fills", "unknown-app", 1, 1000, 0); err == nil {
+	if err := run(cli("fills", "unknown-app", 1, 1000, 0)); err == nil {
 		t.Error("unknown app should fail for fills")
 	}
 }

@@ -20,11 +20,14 @@ import (
 type Time = int64
 
 // event is a scheduled kernel action: resume a process or run a callback.
+// Events are kernel-owned and recycled through a freelist once consumed,
+// so steady-state scheduling does not allocate.
 type event struct {
 	at   Time
 	seq  uint64 // tie-breaker: FIFO among events at the same instant
 	proc *Proc  // non-nil: resume this process
 	fn   func() // non-nil: run this callback in kernel context
+	next *event // freelist link while the event is recycled
 }
 
 // eventHeap orders events by (at, seq).
@@ -55,7 +58,8 @@ type Kernel struct {
 	seq     uint64
 	events  eventHeap
 	procs   []*Proc
-	running *Proc // the process currently executing, nil in kernel context
+	running *Proc  // the process currently executing, nil in kernel context
+	free    *event // freelist of consumed events, reused by push
 	stopped bool
 	panicV  any // re-thrown panic from a process
 
@@ -83,7 +87,9 @@ func (k *Kernel) emit(kind, proc string) {
 
 // NewKernel returns an empty simulator at virtual time 0.
 func NewKernel() *Kernel {
-	return &Kernel{}
+	// Preallocate the heap's backing array; typical simulations keep well
+	// under this many events in flight, so the heap itself never grows.
+	return &Kernel{events: make(eventHeap, 0, 64)}
 }
 
 // Now returns the current virtual time.
@@ -96,7 +102,7 @@ func (k *Kernel) At(t Time, fn func()) {
 	if t < k.now {
 		t = k.now
 	}
-	k.push(&event{at: t, fn: fn})
+	k.push(t, nil, fn)
 }
 
 // After schedules fn to run d ticks from now.
@@ -130,10 +136,27 @@ func (k *Kernel) Stop() {
 // Stopped reports whether Stop has been called.
 func (k *Kernel) Stopped() bool { return k.stopped }
 
-func (k *Kernel) push(e *event) {
+// push schedules an event, reusing a recycled one when available.
+func (k *Kernel) push(at Time, proc *Proc, fn func()) {
+	e := k.free
+	if e != nil {
+		k.free = e.next
+		e.next = nil
+	} else {
+		e = new(event)
+	}
+	e.at, e.proc, e.fn = at, proc, fn
 	e.seq = k.seq
 	k.seq++
 	heap.Push(&k.events, e)
+}
+
+// recycle returns a consumed event to the freelist. Only events popped
+// from the heap may be recycled (never the pushed-back run-limit event).
+func (k *Kernel) recycle(e *event) {
+	e.proc, e.fn = nil, nil
+	e.next = k.free
+	k.free = e
 }
 
 // Run executes the simulation until no events remain, the virtual clock
@@ -157,6 +180,7 @@ func (k *Kernel) Run(until Time) Time {
 			k.emit("resume", e.proc.name)
 			k.resume(e.proc)
 		}
+		k.recycle(e)
 		if k.panicV != nil {
 			v := k.panicV
 			k.panicV = nil

@@ -63,7 +63,7 @@ func (k *Kernel) Spawn(name string, startDelay Time, body func(p *Proc)) *Proc {
 		}()
 		body(p)
 	}()
-	k.push(&event{at: k.now + startDelay, proc: p})
+	k.push(k.now+startDelay, p, nil)
 	return p
 }
 
@@ -83,7 +83,7 @@ func (p *Proc) Delay(d Time) {
 	if d < 0 {
 		d = 0
 	}
-	p.k.push(&event{at: p.k.now + d, proc: p})
+	p.k.push(p.k.now+d, p, nil)
 	p.yield(stateReady)
 }
 
@@ -118,7 +118,7 @@ func (k *Kernel) Broadcast(s *Signal) {
 	for _, w := range s.waiters {
 		if w.state == stateBlocked {
 			w.state = stateReady
-			k.push(&event{at: k.now, proc: w})
+			k.push(k.now, w, nil)
 		}
 	}
 	s.waiters = s.waiters[:0]

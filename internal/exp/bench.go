@@ -1,0 +1,375 @@
+package exp
+
+// Benchmark harness behind `ftpnsim -exp bench`: measures the PR's
+// optimization targets — breakpoint-driven RTC solvers, parallel
+// experiment execution, and the allocation-free DES event path — against
+// their seed baselines, verifies output identity where the baseline is
+// available, and emits a machine-readable JSON report (BENCH_PR1.json).
+//
+// The seed's Table 2 cost is emulated arithmetically: the seed differed
+// from this tree only in the sizing solvers (dense tick scans, retained
+// verbatim in rtc/reference.go) and in running simulations sequentially,
+// so seed ns/op = sequential Table2 ns/op - new-sizing ns/op +
+// dense-sizing ns/op. Parallel speedup over sequential is reported
+// separately and is bounded by GOMAXPROCS.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"testing"
+	"time"
+
+	"ftpn/internal/des"
+	"ftpn/internal/rtc"
+)
+
+// BenchEntry is one measured benchmark.
+type BenchEntry struct {
+	Name     string `json:"name"`
+	NsPerOp  int64  `json:"ns_per_op"`
+	AllocsOp int64  `json:"allocs_per_op"`
+	BytesOp  int64  `json:"bytes_per_op"`
+	N        int    `json:"iterations"`
+}
+
+// BenchComparison relates an optimized path to its baseline.
+type BenchComparison struct {
+	Name            string  `json:"name"`
+	BaselineNs      int64   `json:"baseline_ns_per_op"`
+	OptimizedNs     int64   `json:"optimized_ns_per_op"`
+	Speedup         float64 `json:"speedup"`
+	IdenticalOutput bool    `json:"identical_output"`
+	Note            string  `json:"note,omitempty"`
+}
+
+// BenchReport is the schema of BENCH_PR1.json.
+type BenchReport struct {
+	GeneratedBy string            `json:"generated_by"`
+	GoMaxProcs  int               `json:"go_max_procs"`
+	Benchmarks  []BenchEntry      `json:"benchmarks"`
+	Comparisons []BenchComparison `json:"comparisons"`
+}
+
+// measureFixed times fn over iters iterations per batch and keeps the
+// best batch — more noise-resistant than a single adaptive pass for the
+// multi-hundred-ms end-to-end experiments.
+func measureFixed(name string, iters, batches int, fn func() error) (BenchEntry, error) {
+	best := int64(math.MaxInt64)
+	for b := 0; b < batches; b++ {
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			if err := fn(); err != nil {
+				return BenchEntry{}, fmt.Errorf("bench %s: %w", name, err)
+			}
+		}
+		if d := time.Since(start).Nanoseconds() / int64(iters); d < best {
+			best = d
+		}
+	}
+	return BenchEntry{Name: name, NsPerOp: best, N: iters * batches}, nil
+}
+
+// measure runs fn under the testing benchmark driver.
+func measure(name string, fn func(b *testing.B)) BenchEntry {
+	r := testing.Benchmark(fn)
+	return BenchEntry{
+		Name:     name,
+		NsPerOp:  r.NsPerOp(),
+		AllocsOp: r.AllocsPerOp(),
+		BytesOp:  r.AllocedBytesPerOp(),
+		N:        r.N,
+	}
+}
+
+// seedSizing replicates the seed's ComputeSizing exactly, with every
+// solver call routed to the dense reference implementation. It is the
+// baseline for both the sizing benchmark and the identity check.
+func seedSizing(app App) (Sizing, error) {
+	var s Sizing
+	in1, in2 := app.InModel(1), app.InModel(2)
+	out1, out2 := app.OutModel(1), app.OutModel(2)
+	h := rtc.Horizon(app.Producer, app.Consumer, in1, in2, out1, out2)
+
+	for i, m := range []rtc.PJD{in1, in2} {
+		c, err := rtc.DenseSupDiff(app.Producer.Upper(), m.Lower(), h)
+		if err != nil {
+			return s, err
+		}
+		s.RepCaps[i] = int(max(c, 1))
+	}
+	for i, m := range []rtc.PJD{out1, out2} {
+		f, err := rtc.DenseSupDiff(app.Consumer.Upper(), m.Lower(), h)
+		if err != nil {
+			return s, err
+		}
+		f = max(f, 1)
+		s.SelInits[i] = int(f)
+		s.SelCaps[i] = 2 * int(f)
+	}
+	for _, pair := range [][2]rtc.Curve{
+		{out1.Upper(), out2.Lower()}, {out2.Upper(), out1.Lower()},
+	} {
+		d, err := rtc.DenseSupDiff(pair[0], pair[1], h)
+		if err != nil {
+			return s, err
+		}
+		s.D = max(s.D, d+1)
+	}
+	for _, pair := range [][2]rtc.Curve{
+		{in1.Upper(), in2.Lower()}, {in2.Upper(), in1.Lower()},
+	} {
+		d, err := rtc.DenseSupDiff(pair[0], pair[1], h)
+		if err != nil {
+			return s, err
+		}
+		s.DRep = max(s.DRep, d+1)
+	}
+	bh := h * 8
+	for _, l := range []rtc.Curve{out1.Lower(), out2.Lower()} {
+		b, err := rtc.DenseDetectionBound(l, rtc.Zero, s.D, bh)
+		if err != nil {
+			return s, err
+		}
+		s.SelBoundUs = max(s.SelBoundUs, b)
+	}
+	for i := range s.RepCaps {
+		qf, err := rtc.DenseTimeToReach(app.Producer.Lower(), int64(s.RepCaps[i])+2, bh)
+		if err != nil {
+			return s, err
+		}
+		other := []rtc.PJD{in1, in2}[1-i]
+		dv, err := rtc.DenseTimeToReach(other.Lower(), 2*s.DRep, bh)
+		if err != nil {
+			dv = qf
+		}
+		s.RepBoundUs = max(s.RepBoundUs, min(qf, dv))
+	}
+	return s, nil
+}
+
+// RunBenchSuite measures the suite and writes the JSON report to w.
+// Progress lines go to log (may be nil).
+func RunBenchSuite(w io.Writer, log io.Writer) error {
+	logf := func(format string, args ...any) {
+		if log != nil {
+			fmt.Fprintf(log, format, args...)
+		}
+	}
+	rep := BenchReport{
+		GeneratedBy: "ftpnsim -exp bench",
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+	}
+	app := MJPEGApp(false, 120)
+	const t2Runs = 4
+
+	// --- Sizing: breakpoint solvers vs the seed's dense tick scans. ---
+	logf("bench: sizing (breakpoint vs dense)...\n")
+	newS, err := ComputeSizing(app)
+	if err != nil {
+		return err
+	}
+	oldS, err := seedSizing(app)
+	if err != nil {
+		return err
+	}
+	sizingIdentical := newS == oldS
+	eSizing := measure("sizing_mjpeg", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := ComputeSizing(app); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	eSizingDense, err := measureFixed("sizing_mjpeg_dense_seed", 2, 3, func() error {
+		_, err := seedSizing(app)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	rep.Benchmarks = append(rep.Benchmarks, eSizing, eSizingDense)
+	rep.Comparisons = append(rep.Comparisons, BenchComparison{
+		Name:            "sizing_mjpeg_vs_seed",
+		BaselineNs:      eSizingDense.NsPerOp,
+		OptimizedNs:     eSizing.NsPerOp,
+		Speedup:         ratio(eSizingDense.NsPerOp, eSizing.NsPerOp),
+		IdenticalOutput: sizingIdentical,
+	})
+
+	// --- Table 2 end-to-end: parallel+breakpoints vs emulated seed. ---
+	logf("bench: Table2 mjpeg (parallel vs sequential vs seed-emulated)...\n")
+	seqRes, err := Table2(app, t2Runs, WithParallelism(1), WithoutOpCosts())
+	if err != nil {
+		return err
+	}
+	parRes, err := Table2(app, t2Runs, WithoutOpCosts())
+	if err != nil {
+		return err
+	}
+	t2Identical := seqRes.String() == parRes.String()
+	eT2Par, err := measureFixed("table2_mjpeg", 3, 3, func() error {
+		_, err := Table2(app, t2Runs, WithoutOpCosts())
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	eT2Seq, err := measureFixed("table2_mjpeg_sequential", 3, 3, func() error {
+		_, err := Table2(app, t2Runs, WithParallelism(1), WithoutOpCosts())
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	rep.Benchmarks = append(rep.Benchmarks, eT2Par, eT2Seq)
+	seedT2Ns := eT2Seq.NsPerOp - eSizing.NsPerOp + eSizingDense.NsPerOp
+	rep.Comparisons = append(rep.Comparisons,
+		BenchComparison{
+			Name:            "table2_mjpeg_vs_seed",
+			BaselineNs:      seedT2Ns,
+			OptimizedNs:     eT2Par.NsPerOp,
+			Speedup:         ratio(seedT2Ns, eT2Par.NsPerOp),
+			IdenticalOutput: t2Identical && sizingIdentical,
+			Note:            "seed emulated as sequential Table2 with dense-solver sizing cost",
+		},
+		BenchComparison{
+			Name:            "table2_mjpeg_parallel_vs_sequential",
+			BaselineNs:      eT2Seq.NsPerOp,
+			OptimizedNs:     eT2Par.NsPerOp,
+			Speedup:         ratio(eT2Seq.NsPerOp, eT2Par.NsPerOp),
+			IdenticalOutput: t2Identical,
+			Note:            fmt.Sprintf("bounded by GOMAXPROCS=%d", rep.GoMaxProcs),
+		})
+
+	// --- RTC micro-benchmarks at a 1e5-tick horizon. ---
+	logf("bench: rtc solvers at 1e5 ticks...\n")
+	const microH = rtc.Time(100000)
+	healthy := rtc.PJD{Period: 900, Jitter: 250, MinDist: 100}
+	faulty := rtc.PJD{Period: 1100, Jitter: 400}
+	svc := rtc.RateLatency{LatencyUs: 700, Rate: 1, Per: 800}
+
+	microCmp := func(name string, opt, base func() (int64, error)) error {
+		ov, err := opt()
+		if err != nil {
+			return fmt.Errorf("bench %s: %w", name, err)
+		}
+		bv, err := base()
+		if err != nil {
+			return fmt.Errorf("bench %s baseline: %w", name, err)
+		}
+		eo := measure(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := opt(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		eb := measure(name+"_dense_seed", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := base(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		rep.Benchmarks = append(rep.Benchmarks, eo, eb)
+		rep.Comparisons = append(rep.Comparisons, BenchComparison{
+			Name:            name + "_vs_seed",
+			BaselineNs:      eb.NsPerOp,
+			OptimizedNs:     eo.NsPerOp,
+			Speedup:         ratio(eb.NsPerOp, eo.NsPerOp),
+			IdenticalOutput: ov == bv,
+		})
+		return nil
+	}
+	if err := microCmp("detection_bound_100k",
+		func() (int64, error) { return rtc.DetectionBound(healthy.Lower(), rtc.Zero, 4, microH) },
+		func() (int64, error) { return rtc.DenseDetectionBound(healthy.Lower(), rtc.Zero, 4, microH) },
+	); err != nil {
+		return err
+	}
+	if err := microCmp("buffer_capacity_100k",
+		func() (int64, error) { return rtc.BufferCapacity(faulty.Upper(), healthy.Lower(), microH) },
+		func() (int64, error) { return rtc.DenseSupDiff(faulty.Upper(), healthy.Lower(), microH) },
+	); err != nil {
+		return err
+	}
+	if err := microCmp("delay_bound_100k",
+		func() (int64, error) { return rtc.DelayBound(healthy.Upper(), svc, microH) },
+		func() (int64, error) { return rtc.DenseDelayBound(healthy.Upper(), svc, microH) },
+	); err != nil {
+		return err
+	}
+	// OutputBound's dense reference is O(h²); compare at a reduced
+	// horizon, and additionally report the breakpoint path at 1e5.
+	logf("bench: OutputBound (dense baseline is O(h^2), ~seconds)...\n")
+	const deconvH = rtc.Time(20000)
+	curveSum := func(c rtc.Curve, h rtc.Time) (int64, error) {
+		var s int64
+		for d := rtc.Time(0); d <= h+100; d++ {
+			s += c.Eval(d)
+		}
+		return s, nil
+	}
+	if err := microCmp("output_bound_20k",
+		func() (int64, error) {
+			c, err := rtc.OutputBound(healthy.Upper(), svc, deconvH)
+			if err != nil {
+				return 0, err
+			}
+			return curveSum(c, deconvH)
+		},
+		func() (int64, error) {
+			c, err := rtc.DenseOutputBound(healthy.Upper(), svc, deconvH)
+			if err != nil {
+				return 0, err
+			}
+			return curveSum(c, deconvH)
+		},
+	); err != nil {
+		return err
+	}
+	rep.Benchmarks = append(rep.Benchmarks, measure("output_bound_100k", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := rtc.OutputBound(healthy.Upper(), svc, microH); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+
+	// --- DES event path: freelist keeps the hot loop allocation-free. ---
+	logf("bench: des event scheduling...\n")
+	rep.Benchmarks = append(rep.Benchmarks, measure("des_event_schedule", func(b *testing.B) {
+		k := des.NewKernel()
+		var n int
+		var tick func()
+		tick = func() {
+			if n > 0 {
+				n--
+				k.After(1, tick)
+			}
+		}
+		n = 64
+		k.After(1, tick)
+		k.Run(0)
+		b.ReportAllocs()
+		b.ResetTimer()
+		n = b.N
+		k.After(1, tick)
+		k.Run(0)
+	}))
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// ratio guards against division by zero.
+func ratio(base, opt int64) float64 {
+	if opt <= 0 {
+		return 0
+	}
+	return float64(base) / float64(opt)
+}

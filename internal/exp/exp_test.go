@@ -74,7 +74,7 @@ func TestTable2ADPCM(t *testing.T) {
 	if res.RepMaxFill[0] > res.Sizing.RepCaps[0] || res.RepMaxFill[1] > res.Sizing.RepCaps[1] {
 		t.Errorf("replicator fill %v exceeds caps %v", res.RepMaxFill, res.Sizing.RepCaps)
 	}
-	if res.SelMaxFill > maxInt(res.Sizing.SelCaps[0], res.Sizing.SelCaps[1]) {
+	if res.SelMaxFill > max(res.Sizing.SelCaps[0], res.Sizing.SelCaps[1]) {
 		t.Errorf("selector fill %d exceeds cap %v", res.SelMaxFill, res.Sizing.SelCaps)
 	}
 	// Paper shape 2: every fault detected, within the analytic bound,

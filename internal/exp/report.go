@@ -9,9 +9,10 @@ import (
 
 // ReportConfig parameterizes WriteReport.
 type ReportConfig struct {
-	Runs   int
-	Tokens int64    // workload override, 0 = defaults
-	PollUs des.Time // distance-function poll period
+	Runs     int
+	Tokens   int64    // workload override, 0 = defaults
+	PollUs   des.Time // distance-function poll period
+	Parallel int      // worker goroutines for independent runs, 0 = GOMAXPROCS
 }
 
 // DefaultReportConfig mirrors the paper's 20-run methodology with a
@@ -30,6 +31,10 @@ func WriteReport(w io.Writer, cfg ReportConfig) error {
 	if cfg.PollUs <= 0 {
 		cfg.PollUs = 1000
 	}
+	var opts []Option
+	if cfg.Parallel > 0 {
+		opts = append(opts, WithParallelism(cfg.Parallel))
+	}
 	fmt.Fprintln(w, "ftpn evaluation report")
 	fmt.Fprintln(w, "======================")
 	fmt.Fprintln(w)
@@ -41,14 +46,14 @@ func WriteReport(w io.Writer, cfg ReportConfig) error {
 		if err != nil {
 			return err
 		}
-		res, err := Table2(app, cfg.Runs)
+		res, err := Table2(app, cfg.Runs, opts...)
 		if err != nil {
 			return fmt.Errorf("exp: report table 2 %s: %w", name, err)
 		}
 		fmt.Fprintln(w, res.String())
 	}
 
-	rows, err := Table3(cfg.Runs, cfg.PollUs, des.Time(cfg.Tokens))
+	rows, err := Table3(cfg.Runs, cfg.PollUs, des.Time(cfg.Tokens), opts...)
 	if err != nil {
 		return fmt.Errorf("exp: report table 3: %w", err)
 	}

@@ -110,14 +110,10 @@ func ComputeSizing(app App) (Sizing, error) {
 	return s, nil
 }
 
-// boundForCount returns the smallest Δ with curve(Δ) >= need.
+// boundForCount returns the smallest Δ with curve(Δ) >= need, via the
+// breakpoint-driven inversion (rtc.TimeToReach) instead of a tick scan.
 func boundForCount(c rtc.Curve, need rtc.Count, horizon des.Time) (des.Time, error) {
-	for delta := des.Time(0); delta <= horizon; delta++ {
-		if c.Eval(delta) >= need {
-			return delta, nil
-		}
-	}
-	return 0, rtc.ErrUnreachable
+	return rtc.TimeToReach(c, need, horizon)
 }
 
 // BuildConfig converts the sizing into the ft transform's configuration

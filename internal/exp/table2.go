@@ -45,85 +45,114 @@ type Table2Result struct {
 	Runs int
 }
 
+// faultRun is the order-independent outcome of one fault-injection run,
+// computed inside the worker and aggregated in run order afterwards.
+type faultRun struct {
+	selDet, repDet bool
+	selLat, repLat des.Time
+	falsePos       int
+}
+
 // Table2 runs the full Table 2 experiment for one application: a
 // reference run and a fault-free duplicated run (fill validation and
 // timing comparison), then `runs` fault runs alternating the faulty
-// replica with the injection phase swept across a period.
-func Table2(app App, runs int) (*Table2Result, error) {
+// replica with the injection phase swept across a period. Each run owns
+// its own des.Kernel, so runs execute on a worker pool (see
+// WithParallelism); aggregation is in run order, making the result
+// independent of the parallelism level.
+func Table2(app App, runs int, opts ...Option) (*Table2Result, error) {
 	if runs < 1 {
 		return nil, fmt.Errorf("exp: need at least one run")
 	}
+	cfg := newRunConfig(opts)
 	sizing, err := ComputeSizing(app)
 	if err != nil {
 		return nil, err
 	}
 	res := &Table2Result{App: app, Sizing: sizing, Runs: runs}
 
-	// Reference run.
+	// Reference run and fault-free duplicated run, as a two-task pool.
 	refArr := &trace.Arrivals{}
-	if err := runReference(app, refArr); err != nil {
+	dupArr := &trace.Arrivals{}
+	var dupSys *ft.System
+	if _, err := runIndexed(cfg.workers, 2, func(i int) (struct{}, error) {
+		if i == 0 {
+			return struct{}{}, runReference(app, refArr)
+		}
+		sys, err := runDuplicated(app, sizing, dupArr, nil)
+		dupSys = sys
+		return struct{}{}, err
+	}); err != nil {
 		return nil, err
 	}
 	res.RefInter = refArr.Inter(app.OutInit + 2)
-
-	// Fault-free duplicated run.
-	dupArr := &trace.Arrivals{}
-	sys, err := runDuplicated(app, sizing, dupArr, nil)
-	if err != nil {
-		return nil, err
-	}
-	res.DupInter = dupArr.Inter(maxInt(sizing.SelInits[0], sizing.SelInits[1]) + 2)
-	rep := sys.Replicators[app.InChan]
-	sel := sys.Selectors[app.OutChan]
+	res.DupInter = dupArr.Inter(max(sizing.SelInits[0], sizing.SelInits[1]) + 2)
+	rep := dupSys.Replicators[app.InChan]
+	sel := dupSys.Selectors[app.OutChan]
 	res.RepMaxFill = [2]int{rep.MaxFill(1), rep.MaxFill(2)}
 	res.SelMaxFill = sel.MaxFill()
-	res.FalsePos += len(sys.Faults)
+	res.FalsePos += len(dupSys.Faults)
 
-	// Fault runs.
+	// Fault runs: simulate in parallel, aggregate sequentially.
 	warmup := des.Time(app.Tokens/2) * app.PeriodUs
-	for j := 0; j < runs; j++ {
+	outcomes, err := runIndexed(cfg.workers, runs, func(j int) (faultRun, error) {
 		replica := 1 + j%2
 		injectAt := warmup + des.Time(j)*app.PeriodUs/des.Time(runs)
 		sys, err := runDuplicated(app, sizing, nil, func(s *ft.System) {
 			s.InjectFault(replica, injectAt, fault.StopAll, 0)
 		})
 		if err != nil {
-			return nil, err
+			return faultRun{}, err
 		}
-		selDet, repDet := false, false
+		var o faultRun
 		for _, f := range sys.Faults {
 			if f.Replica != replica {
-				res.FalsePos++
+				o.falsePos++
 				continue
 			}
 			switch f.Channel {
 			case app.OutChan:
-				if !selDet {
-					res.SelLatency.Add(f.At - injectAt)
-					selDet = true
+				if !o.selDet {
+					o.selLat = f.At - injectAt
+					o.selDet = true
 				}
 			case app.InChan:
-				if !repDet {
-					res.RepLatency.Add(f.At - injectAt)
-					repDet = true
+				if !o.repDet {
+					o.repLat = f.At - injectAt
+					o.repDet = true
 				}
 			}
 		}
-		if !selDet || !repDet {
+		return o, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, o := range outcomes {
+		res.FalsePos += o.falsePos
+		if o.selDet {
+			res.SelLatency.Add(o.selLat)
+		}
+		if o.repDet {
+			res.RepLatency.Add(o.repLat)
+		}
+		if !o.selDet || !o.repDet {
 			res.Undetected++
 		}
 	}
 
 	// Memory overhead: framework state sizes (structs plus queue-slot
 	// metadata), excluding token payload storage, as the paper reports.
-	res.MemSelTokens = maxInt(sizing.SelCaps[0], sizing.SelCaps[1])
+	res.MemSelTokens = max(sizing.SelCaps[0], sizing.SelCaps[1])
 	res.MemRepTokens = sizing.RepCaps[0] + sizing.RepCaps[1]
 	tokSlot := int(unsafe.Sizeof(kpn.Token{}))
 	res.MemSelBytes = int(unsafe.Sizeof(ft.Selector{})) + res.MemSelTokens*tokSlot
 	res.MemRepBytes = int(unsafe.Sizeof(ft.Replicator{})) + res.MemRepTokens*tokSlot
 
 	// Runtime overhead: host nanoseconds per channel operation.
-	res.SelOpNs, res.RepOpNs = measureOpCosts(sizing)
+	if cfg.opCosts {
+		res.SelOpNs, res.RepOpNs = measureOpCosts(sizing)
+	}
 	return res, nil
 }
 
@@ -198,13 +227,6 @@ func measureOpCosts(sizing Sizing) (selNs, repNs int64) {
 	k.Run(0)
 	k.Shutdown()
 	return selNs, repNs
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // usToMS formats microseconds as milliseconds with one decimal.

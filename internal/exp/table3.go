@@ -32,10 +32,10 @@ type Table3Row struct {
 // the paper's fail-silent modification of the baseline; it polls with
 // period pollUs (the paper uses 1 ms), which is exactly where its extra
 // latency comes from.
-func Table3(runs int, pollUs, tokens des.Time) ([]Table3Row, error) {
+func Table3(runs int, pollUs, tokens des.Time, opts ...Option) ([]Table3Row, error) {
 	var rows []Table3Row
 	for _, name := range []string{"mjpeg", "adpcm", "h264"} {
-		row, err := table3App(name, runs, pollUs, int64(tokens))
+		row, err := table3App(name, runs, pollUs, int64(tokens), opts...)
 		if err != nil {
 			return nil, fmt.Errorf("exp: table 3 %s: %w", name, err)
 		}
@@ -44,8 +44,15 @@ func Table3(runs int, pollUs, tokens des.Time) ([]Table3Row, error) {
 	return rows, nil
 }
 
-// table3App measures one application's row.
-func table3App(name string, runs int, pollUs des.Time, tokens int64) (Table3Row, error) {
+// table3Run is one run's outcome, aggregated in run order.
+type table3Run struct {
+	undetected bool
+	ours, df   des.Time
+}
+
+// table3App measures one application's row. Runs execute on the worker
+// pool (WithParallelism), each with a private kernel and monitor.
+func table3App(name string, runs int, pollUs des.Time, tokens int64, opts ...Option) (Table3Row, error) {
 	app, err := AppByName(name, true, tokens) // minimized jitter, as §4.3 prescribes
 	if err != nil {
 		return Table3Row{}, err
@@ -54,21 +61,22 @@ func table3App(name string, runs int, pollUs des.Time, tokens int64) (Table3Row,
 	if err != nil {
 		return Table3Row{}, err
 	}
+	cfg := newRunConfig(opts)
 	row := Table3Row{App: app.Name, PollUs: pollUs}
 	warmup := des.Time(app.Tokens/2) * app.PeriodUs
 
-	for j := 0; j < runs; j++ {
+	outcomes, err := runIndexed(cfg.workers, runs, func(j int) (table3Run, error) {
 		replica := 1 + j%2
 		injectAt := warmup + des.Time(j)*app.PeriodUs/des.Time(runs)
 
 		net, err := app.Build(nil)
 		if err != nil {
-			return row, err
+			return table3Run{}, err
 		}
 		k := des.NewKernel()
 		sys, err := ft.Build(k, net, sizing.BuildConfig(app))
 		if err != nil {
-			return row, err
+			return table3Run{}, err
 		}
 		// Distance-function baseline on the same stream, same evidence.
 		mon := detect.NewDistanceMonitor(k, app.InChan, pollUs,
@@ -89,19 +97,28 @@ func table3App(name string, runs int, pollUs des.Time, tokens int64) (Table3Row,
 		}
 		dfOK, dfAt := mon.Faulty()
 		if ours < 0 || !dfOK || dfAt < injectAt {
+			return table3Run{undetected: true}, nil
+		}
+		return table3Run{ours: ours, df: dfAt - injectAt}, nil
+	})
+	if err != nil {
+		return row, err
+	}
+	for _, o := range outcomes {
+		if o.undetected {
 			row.Undetected++
 			continue
 		}
-		row.Ours.Add(ours)
-		row.DF.Add(dfAt - injectAt)
+		row.Ours.Add(o.ours)
+		row.DF.Add(o.df)
 	}
 	return row, nil
 }
 
 // Table3ADPCMOnly measures only the ADPCM row; the polling-granularity
 // ablation bench sweeps pollUs through it.
-func Table3ADPCMOnly(runs int, pollUs des.Time, tokens int64) (Table3Row, error) {
-	return table3App("adpcm", runs, pollUs, tokens)
+func Table3ADPCMOnly(runs int, pollUs des.Time, tokens int64, opts ...Option) (Table3Row, error) {
+	return table3App("adpcm", runs, pollUs, tokens, opts...)
 }
 
 // FormatTable3 renders the comparison paper-style.

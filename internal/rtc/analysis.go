@@ -1,11 +1,16 @@
 package rtc
 
 // This file implements the analytic formulas of Section 3.4 of the paper.
-// All analyses scan interval lengths Δ = 0..horizon; the curves used in
-// this repository are integer-tick step functions, so evaluating at every
-// integer Δ is exact. Horizons are chosen by the caller (rtc.Horizon
-// gives a safe default for PJD models); convergence within the horizon is
-// verified and ErrUnbounded returned otherwise.
+// All analyses are exact over integer-tick staircase curves, but instead
+// of scanning every interval length Δ = 0..horizon they iterate only the
+// curves' breakpoints — the Δ where a staircase can change value — which
+// turns O(horizon) scans into O(breakpoints) scans (classic RTC/MPA
+// toolkit technique). Curves that do not expose breakpoints are sampled
+// once into a memo table (Sampled), so the worst case stays the old
+// dense cost. Value-equivalence with the dense reference implementations
+// in reference.go is checked by property tests; unboundedness is decided
+// exactly from long-run rates when both curves expose them (Rated) and
+// by the seed's last-improvement heuristic otherwise.
 
 // BufferCapacity computes the minimum FIFO capacity |F_P| such that a
 // producer with upper arrival curve prodUpper never blocks on a consumer
@@ -72,9 +77,31 @@ func DetectionBound(healthyLower, faultyUpper Curve, d Count, horizon Time) (Tim
 		return 0, err
 	}
 	need := 2*d - 1
-	for delta := Time(0); delta <= h; delta++ {
-		if healthyLower.Eval(delta)-faultyUpper.Eval(delta) >= need {
-			return delta, nil
+	// The difference of two staircases is piecewise constant between
+	// their merged breakpoints, so the smallest satisfying Δ is the left
+	// endpoint of the first satisfying segment — a breakpoint.
+	hb, fb := Sampled(healthyLower, h), Sampled(faultyUpper, h)
+	for _, p := range mergePoints(h, hb.Breakpoints(h), fb.Breakpoints(h)) {
+		if hb.Eval(p)-fb.Eval(p) >= need {
+			return p, nil
+		}
+	}
+	return 0, ErrUnreachable
+}
+
+// TimeToReach returns the smallest Δ in [0, horizon] with c(Δ) >= need,
+// or ErrUnreachable if the count is never reached within the horizon.
+// It generalizes the bound-inversion scans of eq. 6-8 (detection is
+// "time for a lower curve to deliver a token-count gap").
+func TimeToReach(c Curve, need Count, horizon Time) (Time, error) {
+	h, err := validateHorizon(horizon)
+	if err != nil {
+		return 0, err
+	}
+	bc := Sampled(c, h)
+	for _, p := range bc.Breakpoints(h) {
+		if bc.Eval(p) >= need {
+			return p, nil
 		}
 	}
 	return 0, ErrUnreachable
@@ -130,24 +157,35 @@ func StoppedDetectionBound(healthyLowers []Curve, d Count, horizon Time) (Time, 
 	return worst, nil
 }
 
-// supDiff computes sup_{0<=Δ<=horizon} { a(Δ) - b(Δ) }, verifying that
-// the supremum has stabilized: if a new maximum is still being attained
-// in the last eighth of the horizon, the difference is considered
-// divergent and ErrUnbounded is returned.
+// supDiff computes sup_{0<=Δ<=horizon} { a(Δ) - b(Δ) } by evaluating
+// only at the merged breakpoints of the two curves (the difference is
+// constant in between, so the per-segment maximum sits at the left
+// endpoint). Divergence is decided exactly from long-run rates when both
+// curves expose them: the supremum is infinite iff a's rate strictly
+// exceeds b's. Otherwise the dense scan's heuristic is preserved: a new
+// maximum still being attained in the last eighth of the horizon is
+// considered divergent.
 func supDiff(a, b Curve, horizon Time) (Count, error) {
 	h, err := validateHorizon(horizon)
 	if err != nil {
 		return 0, err
 	}
+	ab, bb := Sampled(a, h), Sampled(b, h)
 	var sup Count
 	lastImprove := Time(0)
-	for delta := Time(0); delta <= h; delta++ {
-		if d := a.Eval(delta) - b.Eval(delta); d > sup {
+	for _, p := range mergePoints(h, ab.Breakpoints(h), bb.Breakpoints(h)) {
+		if d := ab.Eval(p) - bb.Eval(p); d > sup {
 			sup = d
-			lastImprove = delta
+			lastImprove = p
 		}
 	}
-	if h >= 16 && lastImprove > h-h/8 {
+	an, ad, aOK := longRunRate(a)
+	bn, bd, bOK := longRunRate(b)
+	if aOK && bOK {
+		if rateExceeds(an, ad, bn, bd) {
+			return 0, ErrUnbounded
+		}
+	} else if h >= 16 && lastImprove > h-h/8 {
 		return 0, ErrUnbounded
 	}
 	return sup, nil

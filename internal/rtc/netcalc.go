@@ -8,10 +8,17 @@ package rtc
 // service-curve model of the stage — so the per-replica envelopes need
 // not be hand-calibrated.
 //
-// All operators are evaluated numerically over integer-tick horizons,
-// which is exact for the staircase curves used throughout this package.
+// All operators are exact over the integer-tick staircase curves used
+// throughout this package. They iterate the curves' breakpoints instead
+// of every tick whenever both operands expose breakpoints and exact
+// long-run rates (BreakpointCurve + Rated), falling back to the dense
+// reference scans in reference.go otherwise. Value-equivalence between
+// the two paths is enforced by property tests.
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // ServiceCurve is a lower service curve β(Δ): a guarantee that any
 // backlogged interval of length Δ sees at least β(Δ) tokens served.
@@ -48,6 +55,32 @@ func (s RateLatency) Eval(delta Time) Count {
 	return Count((delta - s.LatencyUs)) * s.Rate / Count(s.Per)
 }
 
+// Breakpoints implements BreakpointCurve: the curve reaches value k at
+// Δ = T + ceil(k·Per/R), so successive jumps are enumerated directly
+// (skipping duplicates when several tokens land on one tick).
+func (s RateLatency) Breakpoints(horizon Time) []Time {
+	pts := []Time{0}
+	if s.Rate <= 0 || s.Per <= 0 {
+		return pts
+	}
+	for delta := s.LatencyUs + 1; delta <= horizon; {
+		need := s.Eval(delta-1) + 1
+		jump := s.LatencyUs + ceilDiv(need*Count(s.Per), s.Rate)
+		if jump < delta {
+			jump = delta
+		}
+		if jump > horizon {
+			break
+		}
+		pts = append(pts, jump)
+		delta = jump + 1
+	}
+	return pts
+}
+
+// LongRunRate implements Rated.
+func (s RateLatency) LongRunRate() (Count, Time) { return s.Rate, s.Per }
+
 // StageService models one pipeline stage as a rate-latency server: a
 // stage that takes between MinUs and MaxUs per token offers (to a
 // backlogged input) one token per MaxUs after an initial MaxUs latency.
@@ -58,49 +91,151 @@ func StageService(minUs, maxUs Time) (RateLatency, error) {
 	return RateLatency{LatencyUs: maxUs, Rate: 1, Per: maxUs}, nil
 }
 
+// deconvCurve is the result of a breakpoint-driven OutputBound: the
+// deconvolution α ⊘ β tabulated at its candidate breakpoints over
+// [0, h], with the dense implementation's linear extension beyond the
+// horizon (slope = the last one-tick increment at h).
+type deconvCurve struct {
+	pts   []Time // ascending, pts[0] == 0
+	vals  []Count
+	h     Time
+	rate  Count // extension slope of the table past h (tokens/tick)
+	rateN Count // true long-run rate of the deconvolution ...
+	rateD Time  // ... = the input's rate (valid since rate α <= rate β)
+}
+
+// Eval implements Curve, matching the dense table semantics exactly:
+// 0 at Δ <= 0, the tabulated staircase on (0, h], linear extension past h.
+func (c *deconvCurve) Eval(delta Time) Count {
+	if delta <= 0 {
+		return 0
+	}
+	if delta > c.h {
+		return c.vals[len(c.vals)-1] + c.rate*Count(delta-c.h)
+	}
+	i := sort.Search(len(c.pts), func(i int) bool { return c.pts[i] > delta }) - 1
+	return c.vals[i]
+}
+
+// Breakpoints implements BreakpointCurve. Δ=1 is always included: the
+// Eval clamp to 0 at Δ <= 0 can jump to a positive vals[0] there.
+func (c *deconvCurve) Breakpoints(horizon Time) []Time {
+	pts := []Time{0}
+	if horizon >= 1 {
+		pts = append(pts, 1)
+	}
+	for i := 1; i < len(c.pts); i++ {
+		if c.pts[i] > horizon {
+			break
+		}
+		if c.vals[i] != c.vals[i-1] {
+			pts = append(pts, c.pts[i])
+		}
+	}
+	if c.rate > 0 {
+		// The extension grows every tick past the horizon.
+		for delta := c.h + 1; delta <= horizon; delta++ {
+			pts = append(pts, delta)
+		}
+	}
+	return mergePoints(horizon, pts)
+}
+
+// LongRunRate implements Rated: the true long-run rate of α ⊘ β, which
+// equals the input's rate whenever the deconvolution is bounded (the
+// service cannot throttle an envelope's asymptotic slope). The tabulated
+// Eval saturates past its horizon — a truncation artifact — so divergence
+// decisions in downstream analyses must use this rate, not the table.
+func (c *deconvCurve) LongRunRate() (Count, Time) { return c.rateN, c.rateD }
+
 // OutputBound computes the tightest upper arrival curve of a stage's
 // output given the input's upper arrival curve and the stage's lower
 // service curve — the (min,+) deconvolution α' = α ⊘ β:
 //
 //	α'(Δ) = sup_{u >= 0} { α(Δ+u) − β(u) },
 //
-// evaluated over u in [0, horizon]. The supremum must stabilize within
-// the horizon or ErrUnbounded is returned (an input faster than the
-// service rate has no bounded output envelope... or backlog).
+// evaluated over u in [0, horizon]. When both curves expose breakpoints
+// and long-run rates, the supremum is evaluated only at the candidate
+// jump points of the result — for every α-jump p and β-jump q these are
+// p, p−h and p−q+1 — turning the O(h²) tick scan into an O(b²)
+// breakpoint scan, and unboundedness is decided exactly: the deconvolution
+// diverges iff the input's long-run rate strictly exceeds the service
+// rate. Curves without breakpoints or rates fall back to the dense
+// reference scan (DenseOutputBound) with its last-improvement heuristic.
 func OutputBound(input Curve, service ServiceCurve, horizon Time) (Curve, error) {
 	h, err := validateHorizon(horizon)
 	if err != nil {
 		return nil, err
 	}
-	// Precompute the output curve as an explicit table up to the horizon.
-	vals := make([]Count, h+1)
-	for delta := Time(0); delta <= h; delta++ {
-		var sup Count
-		lastImprove := Time(0)
-		for u := Time(0); u <= h; u++ {
-			if v := input.Eval(delta+u) - service.Eval(u); v > sup {
-				sup = v
-				lastImprove = u
+	sc := Curve(service)
+	inBC, inOK := input.(BreakpointCurve)
+	svcBC, svcOK := sc.(BreakpointCurve)
+	inN, inD, inRated := longRunRate(input)
+	svcN, svcD, svcRated := longRunRate(sc)
+	if !inOK || !svcOK || !inRated || !svcRated {
+		return DenseOutputBound(input, service, horizon)
+	}
+	if rateExceeds(inN, inD, svcN, svcD) {
+		return nil, ErrUnbounded
+	}
+
+	// Candidate jump points of α'. A strict increase of the supremum at Δ
+	// implies an α-jump at p = Δ+u* for the minimal maximizer u*, and
+	// either u* = 0 (Δ = p), u* = h (Δ = p−h), or a β-jump at q = u*+1
+	// (Δ = p−q+1): between those, α(Δ+u) is constant and β(u)
+	// non-decreasing, so the supremum cannot grow.
+	pa := inBC.Breakpoints(2 * h) // α-jumps over [0, Δ+h], Δ <= h
+	qb := svcBC.Breakpoints(h)    // β-jumps over the u range
+	cand := make([]Time, 0, 3+len(pa)*(len(qb)+2))
+	cand = append(cand, 0, h-1, h)
+	for _, p := range pa {
+		if p <= h {
+			cand = append(cand, p)
+		}
+		if p >= h {
+			cand = append(cand, p-h)
+		}
+		for _, q := range qb {
+			if d := p - q + 1; d >= 0 && d <= h {
+				cand = append(cand, d)
 			}
 		}
-		if h >= 16 && lastImprove > h-h/8 {
-			return nil, ErrUnbounded
-		}
-		vals[delta] = sup
 	}
-	rate := vals[h] - vals[h-1]
-	if rate < 0 {
-		rate = 0
+	cand = mergePoints(h, cand)
+
+	// Evaluate the supremum at each candidate: u = 0 plus every α-jump
+	// inside the window (Δ, Δ+h] — the per-Δ maximizer set.
+	vals := make([]Count, len(cand))
+	for i, delta := range cand {
+		var sup Count // the dense scan's supremum starts at 0
+		if v := input.Eval(delta) - service.Eval(0); v > sup {
+			sup = v
+		}
+		j := sort.Search(len(pa), func(j int) bool { return pa[j] > delta })
+		for ; j < len(pa) && pa[j] <= delta+h; j++ {
+			if v := input.Eval(pa[j]) - service.Eval(pa[j]-delta); v > sup {
+				sup = v
+			}
+		}
+		vals[i] = sup
 	}
-	return CurveFunc(func(delta Time) Count {
-		if delta <= 0 {
-			return 0
-		}
-		if delta <= h {
-			return vals[delta]
-		}
-		return vals[h] + rate*Count(delta-h) // linear extension
-	}), nil
+
+	out := &deconvCurve{pts: cand, vals: vals, h: h, rateN: inN, rateD: inD}
+	out.rate = out.at(h) - out.at(h-1)
+	if out.rate < 0 {
+		out.rate = 0
+	}
+	return out, nil
+}
+
+// at returns the tabulated value at a candidate Δ in [0, h] (Δ need not
+// be a stored point; the staircase is constant between points).
+func (c *deconvCurve) at(delta Time) Count {
+	i := sort.Search(len(c.pts), func(i int) bool { return c.pts[i] > delta }) - 1
+	if i < 0 {
+		return 0
+	}
+	return c.vals[i]
 }
 
 // DelayBound computes the classical horizontal-deviation delay bound
@@ -108,37 +243,59 @@ func OutputBound(input Curve, service ServiceCurve, horizon Time) (Curve, error)
 // envelope α and service curve β,
 //
 //	h = sup_{t >= 0} inf { d >= 0 | α(t) <= β(t+d) }.
+//
+// With breakpoint curves, only the α-jumps need to be tried as t (the
+// demand is constant and the available slack only grows in between), and
+// each inf is found by binary search over β's jump table instead of a
+// forward tick scan. As in the dense reference, a demand not served
+// within 4·horizon means an overloaded server (ErrUnbounded); residual
+// divergence is decided exactly from long-run rates when available and by
+// the last-improvement heuristic otherwise.
 func DelayBound(input Curve, service ServiceCurve, horizon Time) (Time, error) {
 	h, err := validateHorizon(horizon)
 	if err != nil {
 		return 0, err
 	}
+	sc := Curve(service)
+	inBC, inOK := input.(BreakpointCurve)
+	svcBC, svcOK := sc.(BreakpointCurve)
+	if !inOK || !svcOK {
+		return DenseDelayBound(input, service, horizon)
+	}
+	// β's jump table over the search range [0, 4h]: ascending deltas with
+	// non-decreasing values — a pseudo-inverse for "first s with β(s) >= n".
+	sp := svcBC.Breakpoints(4 * h)
+	sv := make([]Count, len(sp))
+	for i, p := range sp {
+		sv[i] = service.Eval(p)
+	}
 	var worst Time
 	lastImprove := Time(0)
-	for t := Time(0); t <= h; t++ {
+	for _, t := range mergePoints(h, inBC.Breakpoints(h)) {
 		need := input.Eval(t)
 		if need == 0 {
 			continue
 		}
-		// Find the smallest d with β(t+d) >= need.
-		d, found := Time(0), false
-		for ; t+d <= 4*h; d++ {
-			if service.Eval(t+d) >= need {
-				found = true
-				break
+		var d Time
+		if service.Eval(t) < need {
+			i := sort.Search(len(sv), func(i int) bool { return sv[i] >= need })
+			if i == len(sv) {
+				return 0, ErrUnbounded // not served within 4h
 			}
-		}
-		if !found {
-			return 0, ErrUnbounded
+			d = sp[i] - t
 		}
 		if d > worst {
 			worst = d
 			lastImprove = t
 		}
 	}
-	// A bound still growing at the end of the horizon indicates an
-	// overloaded server: the true supremum is infinite.
-	if h >= 16 && lastImprove > h-h/8 {
+	inN, inD, inRated := longRunRate(input)
+	svcN, svcD, svcRated := longRunRate(sc)
+	if inRated && svcRated {
+		if rateExceeds(inN, inD, svcN, svcD) {
+			return 0, ErrUnbounded
+		}
+	} else if h >= 16 && lastImprove > h-h/8 {
 		return 0, ErrUnbounded
 	}
 	return worst, nil
@@ -148,7 +305,9 @@ func DelayBound(input Curve, service ServiceCurve, horizon Time) (Time, error) {
 // number of tokens simultaneously queued in the stage — directly usable
 // as an internal FIFO capacity.
 func BacklogBound(input Curve, service ServiceCurve, horizon Time) (Count, error) {
-	return supDiff(input, CurveFunc(service.Eval), horizon)
+	// A ServiceCurve's method set is a Curve's, so breakpoints and rates
+	// (when implemented) survive the conversion.
+	return supDiff(input, Curve(service), horizon)
 }
 
 // PipelineOutputBound chains OutputBound through consecutive stages,

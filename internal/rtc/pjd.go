@@ -98,6 +98,55 @@ func (c pjdLower) Eval(delta Time) Count {
 	return n
 }
 
+// Breakpoints implements BreakpointCurve: a superset of the interval
+// lengths where α^u can change. The ceil((Δ+j)/p) term increments at
+// Δ = k·p − j + 1 and the ceil(Δ/d) term at Δ = k·d + 1, so the curve
+// has O(h/p + h/d) breakpoints over a horizon h — far fewer than h.
+func (c pjdUpper) Breakpoints(horizon Time) []Time {
+	pts := []Time{0}
+	if horizon >= 1 {
+		pts = append(pts, 1)
+	}
+	p, j, d := c.m.Period, c.m.Jitter, c.m.MinDist
+	if p > 0 {
+		for k := ceilDiv(j, p); ; k++ {
+			delta := k*p - j + 1
+			if delta > horizon {
+				break
+			}
+			if delta >= 1 {
+				pts = append(pts, delta)
+			}
+		}
+	}
+	if d > 0 {
+		for delta := d + 1; delta <= horizon; delta += d {
+			pts = append(pts, delta)
+		}
+	}
+	return mergePoints(horizon, pts)
+}
+
+// LongRunRate implements Rated: one event per period (the min-distance
+// term only sharpens the transient, since MinDist <= Period).
+func (c pjdUpper) LongRunRate() (Count, Time) { return 1, c.m.Period }
+
+// Breakpoints implements BreakpointCurve: floor((Δ-j)/p) increments at
+// Δ = j + k·p.
+func (c pjdLower) Breakpoints(horizon Time) []Time {
+	pts := []Time{0}
+	p, j := c.m.Period, c.m.Jitter
+	if p > 0 {
+		for delta := j + p; delta <= horizon; delta += p {
+			pts = append(pts, delta)
+		}
+	}
+	return mergePoints(horizon, pts)
+}
+
+// LongRunRate implements Rated.
+func (c pjdLower) LongRunRate() (Count, Time) { return 1, c.m.Period }
+
 // Upper returns the upper arrival curve α^u of the model.
 func (m PJD) Upper() Curve { return pjdUpper{m} }
 

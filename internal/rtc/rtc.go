@@ -15,6 +15,7 @@ package rtc
 import (
 	"errors"
 	"fmt"
+	"sort"
 )
 
 // Time is a duration or instant of virtual time, in ticks (microseconds).
@@ -37,10 +38,83 @@ type CurveFunc func(delta Time) Count
 // Eval implements Curve.
 func (f CurveFunc) Eval(delta Time) Count { return f(delta) }
 
+// BreakpointCurve is an optional extension of Curve for staircase curves
+// that can enumerate where their value may change. The solvers in this
+// package exploit it to scan only O(breakpoints) interval lengths
+// instead of every integer tick up to the horizon.
+type BreakpointCurve interface {
+	Curve
+
+	// Breakpoints returns interval lengths in [0, horizon], sorted
+	// ascending and starting with 0, that include every Δ in the range
+	// with Eval(Δ) != Eval(Δ-1). Supersets are allowed (extra points
+	// where the value does not change are harmless); omissions are not.
+	Breakpoints(horizon Time) []Time
+}
+
+// Rated is an optional extension of curves (arrival or service) that
+// know their exact long-run rate of tokens/per ticks. Solvers use it to
+// decide unboundedness exactly — a supremum over the difference of two
+// staircases diverges iff the minuend's long-run rate strictly exceeds
+// the subtrahend's — instead of heuristically from dense sampling.
+type Rated interface {
+	// LongRunRate returns the asymptotic rate as the pair
+	// (tokens, per): tokens per `per` ticks, with per > 0.
+	LongRunRate() (tokens Count, per Time)
+}
+
+// zeroCurve is the identically-zero curve; it has a single breakpoint
+// at the origin and a long-run rate of zero.
+type zeroCurve struct{}
+
+func (zeroCurve) Eval(Time) Count            { return 0 }
+func (zeroCurve) Breakpoints(Time) []Time    { return []Time{0} }
+func (zeroCurve) LongRunRate() (Count, Time) { return 0, 1 }
+
 // Zero is the arrival curve that is identically zero. It models a stream
 // that has stopped entirely, e.g. a replica suffering a fail-silent
 // timing fault (the ᾱ^u of eq. 8).
-var Zero Curve = CurveFunc(func(Time) Count { return 0 })
+var Zero Curve = zeroCurve{}
+
+// longRunRate unwraps a curve's exact long-run rate, if it exposes one.
+func longRunRate(c Curve) (tokens Count, per Time, ok bool) {
+	if r, isRated := c.(Rated); isRated {
+		if n, d := r.LongRunRate(); d > 0 {
+			return n, d, true
+		}
+	}
+	return 0, 0, false
+}
+
+// rateExceeds reports whether rate an/ad strictly exceeds bn/bd.
+func rateExceeds(an Count, ad Time, bn Count, bd Time) bool {
+	return an*Count(bd) > bn*Count(ad)
+}
+
+// mergePoints merges breakpoint lists into one ascending, deduplicated
+// list of candidate interval lengths in [0, h], always including 0.
+func mergePoints(h Time, lists ...[]Time) []Time {
+	n := 1
+	for _, l := range lists {
+		n += len(l)
+	}
+	pts := make([]Time, 1, n)
+	for _, l := range lists {
+		for _, p := range l {
+			if p > 0 && p <= h {
+				pts = append(pts, p)
+			}
+		}
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i] < pts[j] })
+	out := pts[:1]
+	for _, p := range pts[1:] {
+		if p != out[len(out)-1] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
 
 // ErrUnbounded is returned by analyses whose supremum does not stabilize
 // within the scan horizon, which indicates diverging long-run rates

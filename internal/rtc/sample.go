@@ -1,0 +1,65 @@
+package rtc
+
+// TableCurve memoizes an arbitrary curve into a dense value table and
+// derives breakpoints from where the sampled values change. It is the
+// fallback that lets the breakpoint-driven solvers accept any Curve
+// implementation: the underlying curve is evaluated once per tick (one
+// O(horizon) sampling pass, grown lazily and cached across solver
+// calls) instead of being re-evaluated per query.
+//
+// TableCurve is not safe for concurrent use; share only the underlying
+// curve across goroutines, not the wrapper.
+type TableCurve struct {
+	c    Curve
+	vals []Count // vals[i] == c.Eval(i) for sampled i
+}
+
+// Sampled adapts a curve to BreakpointCurve: curves that already expose
+// breakpoints are returned unchanged, anything else is wrapped in a
+// TableCurve sampled up to the given horizon.
+func Sampled(c Curve, horizon Time) BreakpointCurve {
+	if bc, ok := c.(BreakpointCurve); ok {
+		return bc
+	}
+	t := &TableCurve{c: c}
+	t.ensure(horizon)
+	return t
+}
+
+// ensure grows the memo table to cover [0, h].
+func (t *TableCurve) ensure(h Time) {
+	if h < 0 {
+		return
+	}
+	if cap(t.vals) == 0 {
+		t.vals = make([]Count, 0, h+1)
+	}
+	for i := Time(len(t.vals)); i <= h; i++ {
+		t.vals = append(t.vals, t.c.Eval(i))
+	}
+}
+
+// Eval implements Curve, serving sampled ticks from the memo table and
+// delegating out-of-range queries to the underlying curve.
+func (t *TableCurve) Eval(delta Time) Count {
+	if delta >= 0 && delta < Time(len(t.vals)) {
+		return t.vals[delta]
+	}
+	return t.c.Eval(delta)
+}
+
+// Breakpoints implements BreakpointCurve: the exact change points of
+// the sampled table over [0, horizon].
+func (t *TableCurve) Breakpoints(horizon Time) []Time {
+	if horizon < 0 {
+		return []Time{0}
+	}
+	t.ensure(horizon)
+	pts := []Time{0}
+	for i := Time(1); i <= horizon; i++ {
+		if t.vals[i] != t.vals[i-1] {
+			pts = append(pts, i)
+		}
+	}
+	return pts
+}

@@ -85,6 +85,33 @@ func (c *StepCurve) Eval(delta Time) Count {
 // transient prefix of the curve.
 func (c *StepCurve) NumBreakpoints() int { return len(c.points) }
 
+// Breakpoints implements BreakpointCurve: the explicit transient
+// breakpoints plus, beyond the last one, the ticks where the long-run
+// linear extension steps (every rateDen ticks while rateNum > 0).
+func (c *StepCurve) Breakpoints(horizon Time) []Time {
+	pts := []Time{0}
+	var tail Time // where the rate extension starts stepping
+	if len(c.points) == 0 {
+		tail = 0
+	} else {
+		for _, p := range c.points {
+			if p.Delta <= horizon {
+				pts = append(pts, p.Delta)
+			}
+		}
+		tail = c.points[len(c.points)-1].Delta
+	}
+	if c.rateNum > 0 {
+		for delta := tail + c.rateDen; delta <= horizon; delta += c.rateDen {
+			pts = append(pts, delta)
+		}
+	}
+	return mergePoints(horizon, pts)
+}
+
+// LongRunRate implements Rated: the explicit extension rate.
+func (c *StepCurve) LongRunRate() (Count, Time) { return c.rateNum, c.rateDen }
+
 // CalibratedCurves derives an upper and a lower arrival curve from a
 // trace of observed event timestamps, the way a calibration experiment
 // would (paper §3.4: curves "derived from calibration experiments"). The

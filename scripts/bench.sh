@@ -1,0 +1,14 @@
+#!/bin/sh
+# Regenerate BENCH_PR1.json: the machine-readable performance report for
+# the breakpoint-solver / parallel-runner / event-freelist optimization
+# (README "Performance"). Runs the suite via the ftpnsim bench harness,
+# then prints the go-bench view of the same targets for eyeballing.
+set -eu
+cd "$(dirname "$0")/.."
+
+go run ./cmd/ftpnsim -exp bench -out BENCH_PR1.json
+echo
+echo "== go test -bench view =="
+go test -run xxx -bench 'Table2MJPEG' -benchmem .
+go test -run xxx -bench 'SupDiff|DetectionBound|DelayBound|OutputBound$' -benchmem ./internal/rtc/
+go test -run xxx -bench . -benchmem ./internal/des/
