@@ -6,6 +6,13 @@
 //	ftpnsim -exp table2 -app all   -runs 20
 //	ftpnsim -exp table3 -runs 20 -poll 1000
 //	ftpnsim -exp bench  -out BENCH_PR1.json
+//	ftpnsim -exp campaign -n 1000 -seed 1 -out BENCH_PR2.json
+//
+// The campaign experiment sweeps randomized fault scenarios (mode ×
+// replica × injection time × repair delay × jitter tier × app) through
+// the detection→recovery→re-integration arc and machine-checks the
+// framework's invariants on every run; it exits non-zero if any run
+// violates one.
 //
 // Independent fault-injection runs execute on a worker pool (-parallel,
 // default GOMAXPROCS); results are aggregated in run order, so the
@@ -33,18 +40,22 @@ type cliConfig struct {
 	pollUs   int64
 	tokens   int64
 	parallel int
-	out      string // bench report path, "-" = stdout
+	out      string // report path, "-" = stdout, "" = per-experiment default
+	n        int    // campaign runs
+	seed     int64  // campaign PRNG seed
 }
 
 func main() {
 	var cfg cliConfig
-	flag.StringVar(&cfg.expName, "exp", "table2", "experiment: table1, table2, table3, report, fills or bench")
+	flag.StringVar(&cfg.expName, "exp", "table2", "experiment: table1, table2, table3, report, fills, bench or campaign")
 	flag.StringVar(&cfg.appName, "app", "all", "application: mjpeg, adpcm, h264 or all")
 	flag.IntVar(&cfg.runs, "runs", 20, "fault-injection runs per configuration")
 	flag.Int64Var(&cfg.pollUs, "poll", 1000, "distance-function poll period in µs (table3)")
 	flag.Int64Var(&cfg.tokens, "tokens", 0, "override workload length in tokens (0 = default)")
 	flag.IntVar(&cfg.parallel, "parallel", runtime.GOMAXPROCS(0), "worker goroutines for independent runs")
-	flag.StringVar(&cfg.out, "out", "BENCH_PR1.json", "bench report output path (- for stdout)")
+	flag.StringVar(&cfg.out, "out", "", "report output path (- for stdout; default BENCH_PR1.json for bench, BENCH_PR2.json for campaign)")
+	flag.IntVar(&cfg.n, "n", 1000, "randomized scenarios in a campaign")
+	flag.Int64Var(&cfg.seed, "seed", 1, "campaign PRNG seed")
 	flag.Parse()
 	if err := run(cfg); err != nil {
 		fmt.Fprintf(os.Stderr, "ftpnsim: %v\n", err)
@@ -106,9 +117,13 @@ func run(cfg cliConfig) error {
 		fmt.Print(exp.FormatFillProfile(samples, sizing, app, 1))
 		return nil
 	case "bench":
+		out := cfg.out
+		if out == "" {
+			out = "BENCH_PR1.json"
+		}
 		var w io.Writer = os.Stdout
-		if cfg.out != "-" && cfg.out != "" {
-			f, err := os.Create(cfg.out)
+		if out != "-" {
+			f, err := os.Create(out)
 			if err != nil {
 				return err
 			}
@@ -118,11 +133,41 @@ func run(cfg cliConfig) error {
 		if err := exp.RunBenchSuite(w, os.Stderr); err != nil {
 			return err
 		}
-		if cfg.out != "-" && cfg.out != "" {
-			fmt.Fprintf(os.Stderr, "bench report written to %s\n", cfg.out)
+		if out != "-" {
+			fmt.Fprintf(os.Stderr, "bench report written to %s\n", out)
+		}
+		return nil
+	case "campaign":
+		res, err := exp.Campaign(exp.CampaignConfig{Runs: cfg.n, Seed: cfg.seed}, opts...)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.String())
+		out := cfg.out
+		if out == "" {
+			out = "BENCH_PR2.json"
+		}
+		if out != "-" {
+			f, err := os.Create(out)
+			if err != nil {
+				return err
+			}
+			if err := res.WriteJSON(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "campaign report written to %s\n", out)
+		} else if err := res.WriteJSON(os.Stdout); err != nil {
+			return err
+		}
+		if res.Violations > 0 {
+			return fmt.Errorf("campaign: %d of %d runs violated an invariant", res.Violations, res.Runs)
 		}
 		return nil
 	default:
-		return fmt.Errorf("unknown experiment %q (want table1, table2, table3, report, fills or bench)", cfg.expName)
+		return fmt.Errorf("unknown experiment %q (want table1, table2, table3, report, fills, bench or campaign)", cfg.expName)
 	}
 }

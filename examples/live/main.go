@@ -3,12 +3,18 @@
 // producer streams tokens every few milliseconds through two replica
 // pipelines into a selector; halfway through, one replica goroutine is
 // stopped, and the counter-based detectors convict it while the
-// consumer's stream continues without a hiccup.
+// consumer's stream continues without a hiccup. With -recover (the
+// default) the dead replica is then repaired: its goroutine is
+// respawned, its replicator queue re-armed from the healthy backlog and
+// its selector interface re-synchronized, restoring full redundancy.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
+	"os"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -16,54 +22,115 @@ import (
 	"ftpn/internal/crt"
 )
 
-func main() {
-	tokens := flag.Int64("tokens", 400, "tokens to stream")
-	period := flag.Duration("period", 5*time.Millisecond, "producer period")
-	flag.Parse()
+type config struct {
+	tokens   int64
+	period   time.Duration
+	duration time.Duration // hard wall-clock cap (0 = uncapped)
+	recover  bool
+}
 
+func main() {
+	var cfg config
+	flag.Int64Var(&cfg.tokens, "tokens", 400, "tokens to stream")
+	flag.DurationVar(&cfg.period, "period", 5*time.Millisecond, "producer period")
+	flag.DurationVar(&cfg.duration, "duration", 30*time.Second, "hard wall-clock cap on the demo (0 = uncapped)")
+	flag.BoolVar(&cfg.recover, "recover", true, "repair, re-integrate and respawn the dead replica")
+	flag.Parse()
+	if err := run(cfg, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "live:", err)
+		os.Exit(1)
+	}
+}
+
+// pipeline is one replica's work loop: read raw PCM from the
+// replicator, ADPCM-encode+decode it, forward to the selector. gen
+// guards against a superseded incarnation of replica 1 racing its
+// respawned successor for queue tokens.
+func pipeline(rep *crt.Replicator, sel *crt.Selector, r int, gen *atomic.Int64, mygen int64) {
+	for {
+		tok, ok := rep.Read(r)
+		if !ok {
+			return
+		}
+		if r == 1 && gen.Load() != mygen {
+			return // killed (the fault) or superseded by a respawn
+		}
+		samples := make([]int16, len(tok.Payload)/2)
+		for i := range samples {
+			samples[i] = int16(tok.Payload[2*i]) | int16(tok.Payload[2*i+1])<<8
+		}
+		block, err := adpcm.EncodeBlock(samples)
+		if err != nil {
+			panic(err)
+		}
+		decoded, err := adpcm.DecodeBlock(block)
+		if err != nil {
+			panic(err)
+		}
+		out := make([]byte, len(decoded)*2)
+		for i, v := range decoded {
+			out[2*i] = byte(v)
+			out[2*i+1] = byte(v >> 8)
+		}
+		if !sel.Write(r, crt.Token{Seq: tok.Seq, Payload: out}) {
+			return
+		}
+	}
+}
+
+// lockedWriter serializes demo output: fault handlers, the consumer and
+// the recovery supervisor all print from their own goroutines.
+type lockedWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (lw *lockedWriter) Write(p []byte) (int, error) {
+	lw.mu.Lock()
+	defer lw.mu.Unlock()
+	return lw.w.Write(p)
+}
+
+func run(cfg config, sink io.Writer) error {
+	out := &lockedWriter{w: sink}
 	clock := crt.NewWallClock()
-	onFault := func(f crt.Fault) { fmt.Printf("  [%8v] DETECTED %s\n", f.At.Round(time.Millisecond), f) }
+	done := make(chan struct{})
+	var faultMu sync.Mutex
+	var r1Faulted bool
+	r1Fault := make(chan crt.Fault, 1)
+	onFault := func(f crt.Fault) {
+		fmt.Fprintf(out, "  [%8v] DETECTED %s\n", f.At.Round(time.Millisecond), f)
+		if f.Replica == 1 {
+			faultMu.Lock()
+			first := !r1Faulted
+			r1Faulted = true
+			faultMu.Unlock()
+			if first {
+				r1Fault <- f
+			}
+		}
+	}
 
 	rep := crt.NewReplicator(clock, "R", [2]int{4, 4}, onFault)
 	sel := crt.NewSelector(clock, "S", [2]int{8, 8}, [2]int{3, 3}, 4, onFault)
 
-	var stopReplica1 atomic.Bool
-	injectAt := time.Duration(*tokens/2) * *period
+	var gen1 atomic.Int64
+	spawn := func(r int) {
+		go pipeline(rep, sel, r, &gen1, gen1.Load())
+	}
+	spawn(1)
+	spawn(2)
 
-	// Replica pipelines: read raw PCM, ADPCM-encode+decode it, forward.
-	for r := 1; r <= 2; r++ {
-		r := r
-		go func() {
-			for {
-				tok, ok := rep.Read(r)
-				if !ok {
-					return
-				}
-				if r == 1 && stopReplica1.Load() {
-					return // the fault: replica 1's goroutine dies
-				}
-				samples := make([]int16, len(tok.Payload)/2)
-				for i := range samples {
-					samples[i] = int16(tok.Payload[2*i]) | int16(tok.Payload[2*i+1])<<8
-				}
-				block, err := adpcm.EncodeBlock(samples)
-				if err != nil {
-					panic(err)
-				}
-				decoded, err := adpcm.DecodeBlock(block)
-				if err != nil {
-					panic(err)
-				}
-				out := make([]byte, len(decoded)*2)
-				for i, v := range decoded {
-					out[2*i] = byte(v)
-					out[2*i+1] = byte(v >> 8)
-				}
-				if !sel.Write(r, crt.Token{Seq: tok.Seq, Payload: out}) {
-					return
-				}
-			}
-		}()
+	// Hard wall-clock cap so a wedged demo cannot hang CI: closing the
+	// channels errors out every blocked party.
+	var expired atomic.Bool
+	if cfg.duration > 0 {
+		watchdog := time.AfterFunc(cfg.duration, func() {
+			expired.Store(true)
+			rep.Close()
+			sel.Close()
+		})
+		defer watchdog.Stop()
 	}
 
 	// Consumer: paced at the producer period — a consumer that reads
@@ -77,7 +144,7 @@ func main() {
 		var last time.Duration
 		var worst time.Duration
 		for {
-			clock.Sleep(*period)
+			clock.Sleep(cfg.period)
 			tok, ok := sel.Read()
 			if !ok {
 				break
@@ -90,45 +157,97 @@ func main() {
 			}
 			last = now
 			n++
-			if n == *tokens {
+			if n == cfg.tokens {
 				break
 			}
 		}
-		fmt.Printf("consumer: %d tokens, worst inter-arrival %v\n", n, worst.Round(time.Millisecond))
+		fmt.Fprintf(out, "consumer: %d tokens, worst inter-arrival %v\n", n, worst.Round(time.Millisecond))
 		consumed <- n
 	}()
 
-	fmt.Printf("streaming %d tokens at %v; replica 1 dies at %v\n", *tokens, *period, injectAt)
+	injectAt := time.Duration(cfg.tokens/2) * cfg.period
+	fmt.Fprintf(out, "streaming %d tokens at %v; replica 1 dies at %v\n", cfg.tokens, cfg.period, injectAt)
 	go func() {
 		clock.Sleep(injectAt)
-		stopReplica1.Store(true)
-		fmt.Printf("  [%8v] replica 1 goroutine stopped\n", clock.Now().Round(time.Millisecond))
+		gen1.Add(1) // the fault: replica 1's goroutine dies at its next token
+		fmt.Fprintf(out, "  [%8v] replica 1 goroutine stopped\n", clock.Now().Round(time.Millisecond))
 	}()
 
-	for i := int64(1); i <= *tokens; i++ {
+	// Recovery supervisor: once replica 1 is convicted, wait out a
+	// repair delay (restart cost), re-arm its replicator queue from the
+	// healthy backlog, put its selector interface into resynchronization
+	// and respawn the goroutine — the crt mirror of ft's
+	// RepairAndReintegrateAt.
+	recovered := make(chan struct{})
+	if cfg.recover {
+		go func() {
+			defer close(recovered)
+			select {
+			case <-r1Fault:
+			case <-done:
+				return
+			}
+			clock.Sleep(10 * cfg.period)
+			if !rep.Reintegrate(1, 3) || !sel.Reintegrate(1) {
+				return
+			}
+			gen1.Add(1)
+			spawn(1)
+			fmt.Fprintf(out, "  [%8v] replica 1 repaired, re-integrated and respawned\n",
+				clock.Now().Round(time.Millisecond))
+		}()
+	}
+
+	for i := int64(1); i <= cfg.tokens; i++ {
 		payload := make([]byte, 256)
 		for j := range payload {
 			payload[j] = byte(i + int64(j))
 		}
-		rep.Write(crt.Token{Seq: i, Payload: payload})
-		clock.Sleep(*period)
+		if !rep.Write(crt.Token{Seq: i, Payload: payload}) {
+			break
+		}
+		clock.Sleep(cfg.period)
 	}
 	n := <-consumed
+	close(done)
+	if cfg.recover {
+		<-recovered
+	}
 	rep.Close()
 	sel.Close()
 
+	if expired.Load() {
+		return fmt.Errorf("demo exceeded the -duration cap of %v", cfg.duration)
+	}
 	ok1, at := rep.Faulty(1)
 	sok1, sat, sreason := sel.Faulty(1)
-	fmt.Printf("replicator convicted R1: %v (at %v); selector convicted R1: %v (%s at %v)\n",
+	fmt.Fprintf(out, "replicator convicted R1: %v (at %v); selector convicted R1: %v (%s at %v)\n",
 		ok1, at.Round(time.Millisecond), sok1, sreason, sat.Round(time.Millisecond))
-	if n < *tokens-8 {
-		panic("consumer starved despite fault tolerance")
+	if n < cfg.tokens-8 {
+		return fmt.Errorf("consumer starved despite fault tolerance: %d of %d tokens", n, cfg.tokens)
 	}
 	if ok2, _ := rep.Faulty(2); ok2 {
-		panic("healthy replica convicted at the replicator")
+		return fmt.Errorf("healthy replica convicted at the replicator")
 	}
 	if ok2, _, _ := sel.Faulty(2); ok2 {
-		panic("healthy replica convicted at the selector")
+		return fmt.Errorf("healthy replica convicted at the selector")
 	}
-	fmt.Println("healthy replica kept the stream alive; no false positives")
+	faultMu.Lock()
+	detected := r1Faulted
+	faultMu.Unlock()
+	if !detected {
+		return fmt.Errorf("replica 1 fault was never detected")
+	}
+	if cfg.recover {
+		if ok1 || sok1 {
+			return fmt.Errorf("replica 1 still convicted after repair + re-integration")
+		}
+		if sel.Resyncing(1) {
+			return fmt.Errorf("replica 1 selector interface never completed resynchronization")
+		}
+		fmt.Fprintln(out, "replica 1 detected, repaired and re-integrated; full redundancy restored")
+	} else {
+		fmt.Fprintln(out, "healthy replica kept the stream alive; no false positives")
+	}
+	return nil
 }

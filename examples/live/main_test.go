@@ -1,0 +1,50 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestLiveDemoRecovers smoke-tests the wall-clock runtime end-to-end:
+// stream, kill replica 1's goroutine, detect, repair + re-integrate +
+// respawn, finish with full redundancy and no false positives. The
+// -duration cap bounds the test even if something wedges.
+func TestLiveDemoRecovers(t *testing.T) {
+	var out bytes.Buffer
+	cfg := config{tokens: 150, period: 2 * time.Millisecond, duration: 30 * time.Second, recover: true}
+	if err := run(cfg, &out); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "full redundancy restored") {
+		t.Errorf("missing recovery confirmation; output:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "DETECTED") {
+		t.Errorf("no detection reported; output:\n%s", out.String())
+	}
+}
+
+// TestLiveDemoWithoutRecovery keeps the original demo path covered: the
+// fault is detected and latched, the healthy replica carries the stream.
+func TestLiveDemoWithoutRecovery(t *testing.T) {
+	var out bytes.Buffer
+	cfg := config{tokens: 100, period: 2 * time.Millisecond, duration: 30 * time.Second, recover: false}
+	if err := run(cfg, &out); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "no false positives") {
+		t.Errorf("missing success line; output:\n%s", out.String())
+	}
+}
+
+// TestLiveDemoDurationCap verifies the watchdog: an impossibly small
+// cap aborts the run with an error instead of hanging.
+func TestLiveDemoDurationCap(t *testing.T) {
+	var out bytes.Buffer
+	cfg := config{tokens: 5000, period: 2 * time.Millisecond, duration: 50 * time.Millisecond, recover: false}
+	err := run(cfg, &out)
+	if err == nil || !strings.Contains(err.Error(), "duration cap") {
+		t.Fatalf("err = %v, want duration-cap abort", err)
+	}
+}

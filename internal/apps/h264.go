@@ -119,7 +119,7 @@ func H264Network(cfg H264Config, sink Sink) (*kpn.Network, error) {
 					}
 					for s, o := range out {
 						part := tok.Payload[s*sliceH*cfg.Width : (s+1)*sliceH*cfg.Width]
-						o.Write(p, kpn.Token{Seq: i, Stamp: p.Now(), Payload: part})
+						o.Write(p, kpn.Token{Seq: tok.Seq, Stamp: p.Now(), Payload: part})
 					}
 				}
 			}
@@ -156,12 +156,17 @@ func H264Network(cfg H264Config, sink Sink) (*kpn.Network, error) {
 				rng := newStageRand(34 + int64(r))
 				for i := int64(1); ; i++ {
 					parts := make([][]byte, len(in))
+					var seq int64
 					for s, ip := range in {
-						parts[s] = ip.Read(p).Payload
+						tok := ip.Read(p)
+						if s == 0 {
+							seq = tok.Seq
+						}
+						parts[s] = tok.Payload
 					}
 					muxed := chain32(parts)
 					p.Delay(stageDuration(work, rng, len(muxed)))
-					out[0].Write(p, kpn.Token{Seq: i, Stamp: p.Now(), Payload: muxed})
+					out[0].Write(p, kpn.Token{Seq: seq, Stamp: p.Now(), Payload: muxed})
 				}
 			}
 		}},

@@ -182,7 +182,7 @@ func splitStreamBehavior(cfg MJPEGConfig, replica int) kpn.Behavior {
 				panic(fmt.Sprintf("apps: splitstream frame %d: %v (%d parts)", tok.Seq, err, len(parts)))
 			}
 			for s, o := range out {
-				o.Write(p, kpn.Token{Seq: i, Stamp: p.Now(), Payload: parts[s]})
+				o.Write(p, kpn.Token{Seq: tok.Seq, Stamp: p.Now(), Payload: parts[s]})
 			}
 		}
 	}
@@ -199,15 +199,19 @@ func mergeFrameBehavior(cfg MJPEGConfig, replica int) kpn.Behavior {
 		frame := make([]byte, 0, cfg.DecodedBytes())
 		for i := int64(1); ; i++ {
 			frame = frame[:0]
-			for _, ip := range in {
+			var seq int64
+			for s, ip := range in {
 				part := ip.Read(p)
+				if s == 0 {
+					seq = part.Seq
+				}
 				frame = append(frame, part.Payload...)
 			}
 			if len(frame) != cfg.DecodedBytes() {
 				panic(fmt.Sprintf("apps: mergeframe %d assembled %d bytes, want %d", i, len(frame), cfg.DecodedBytes()))
 			}
 			p.Delay(stageDuration(work, rng, len(frame)))
-			out[0].Write(p, kpn.Token{Seq: i, Stamp: p.Now(), Payload: append([]byte{}, frame...)})
+			out[0].Write(p, kpn.Token{Seq: seq, Stamp: p.Now(), Payload: append([]byte{}, frame...)})
 		}
 	}
 }

@@ -106,6 +106,45 @@ func (r *Replicator) Read(replica int) (Token, bool) {
 	return tok, true
 }
 
+// Reintegrate re-admits a repaired replica (1-based): its stale queue is
+// drained and re-armed with the newest min(fill, cap-1) tokens mirrored
+// from the healthy replica's backlog, and its conviction is cleared so
+// queue-full detection is re-armed. The other replica must be healthy
+// (it is the reference); Reintegrate reports false and does nothing
+// otherwise. This mirrors ft.Replicator.Reintegrate for the wall-clock
+// runtime.
+func (r *Replicator) Reintegrate(replica, fill int) bool {
+	i := replica - 1
+	h := 1 - i
+	r.mu.Lock()
+	if r.faulty[h] || r.closed {
+		r.mu.Unlock()
+		return false
+	}
+	if fill > r.caps[i]-1 {
+		fill = r.caps[i] - 1
+	}
+	src := r.queues[h]
+	if fill > len(src) {
+		fill = len(src)
+	}
+	if fill < 0 {
+		fill = 0
+	}
+	r.queues[i] = append(r.queues[i][:0], src[len(src)-fill:]...)
+	r.faulty[i] = false
+	r.mu.Unlock()
+	r.notEmpty[i].Broadcast()
+	return true
+}
+
+// Fill returns replica's (1-based) current queue fill.
+func (r *Replicator) Fill(replica int) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.queues[replica-1])
+}
+
 // Close wakes all blocked readers.
 func (r *Replicator) Close() {
 	r.mu.Lock()
@@ -140,9 +179,11 @@ type Selector struct {
 	clock    Clock
 	name     string
 	caps     [2]int
+	inits    [2]int
 	space    [2]int64
 	wcnt     [2]int64
 	drops    [2]int64
+	reads    int64
 	fifo     []Token
 	faulty   [2]bool
 	faultAt  [2]time.Duration
@@ -151,6 +192,21 @@ type Selector struct {
 	handler  FaultHandler
 	maxFill  int
 	divThres int64
+
+	// Re-integration state, mirroring ft.Selector: wBase rebases the
+	// pair index after recovery, lastSeqW is the stream index of the
+	// last counted write, resync marks an interface seeking its Seq
+	// alignment point, adjust keeps the space-counter identity exact
+	// across the alignment clamp, and selGrace excuses the re-aligned
+	// interface's transient lead. All-zero state reproduces the original
+	// counters exactly.
+	wBase       [2]int64
+	lastSeqW    [2]int64
+	resync      [2]bool
+	resyncDrops [2]int64
+	adjust      [2]int64
+	selGrace    [2]int64
+	resyncWait  *sync.Cond
 }
 
 // NewSelector builds a concurrent selector with capacities, initial
@@ -164,10 +220,11 @@ func NewSelector(clock Clock, name string, caps, inits [2]int, d int64, handler 
 			panic(fmt.Sprintf("crt: selector %q init %d outside [0,%d]", name, inits[i], caps[i]))
 		}
 	}
-	s := &Selector{clock: clock, name: name, caps: caps, handler: handler, divThres: d}
+	s := &Selector{clock: clock, name: name, caps: caps, inits: inits, handler: handler, divThres: d}
 	s.notEmpty = sync.NewCond(&s.mu)
 	s.notFull[0] = sync.NewCond(&s.mu)
 	s.notFull[1] = sync.NewCond(&s.mu)
+	s.resyncWait = sync.NewCond(&s.mu)
 	nPre := inits[0]
 	if inits[1] > nPre {
 		nPre = inits[1]
@@ -184,6 +241,65 @@ func NewSelector(clock Clock, name string, caps, inits [2]int, d int64, handler 
 	return s
 }
 
+// effW is interface i's pair index since its last (re-)integration base.
+func (s *Selector) effW(i int) int64 { return s.wcnt[i] - s.wBase[i] }
+
+// Reintegrate puts interface replica (1-based) into resynchronization
+// after its replica has been repaired: stale tokens still in its
+// pipeline are discarded uncounted, and the first token at or just past
+// the healthy interface's write front re-aligns its pair index, space
+// counter and divergence base, clearing the conviction. The other
+// interface must be healthy (it is the reference stream); Reintegrate
+// reports false and does nothing otherwise. Mirrors
+// ft.Selector.Reintegrate for the wall-clock runtime.
+func (s *Selector) Reintegrate(replica int) bool {
+	i := replica - 1
+	h := 1 - i
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.faulty[h] || s.resync[h] || s.closed {
+		return false
+	}
+	if s.resync[i] {
+		return true
+	}
+	// A convicted replica is always at or behind the reference stream;
+	// re-integrating an interface that is ahead would re-align its pair
+	// index backwards and duplicate queued pairs — refuse instead.
+	if s.effW(i) > s.effW(h) {
+		return false
+	}
+	s.resync[i] = true
+	// A writer parked on the space counter must re-route through the
+	// resync path; one parked mid-resync re-evaluates the new state.
+	s.notFull[i].Broadcast()
+	s.resyncWait.Broadcast()
+	return true
+}
+
+// align ends interface i's resynchronization against healthy reference
+// h. back=0 aligns the pending token as the first of the next pair,
+// back=1 as the late duplicate of h's current pair. Caller holds s.mu.
+func (s *Selector) align(i, h int, back int64) {
+	s.wBase[i] = s.wcnt[i] - (s.effW(h) - back)
+	raw := int64(s.caps[i]-s.inits[i]) - s.effW(i) + s.reads
+	clamped := raw
+	if clamped < 0 {
+		clamped = 0
+	}
+	if c := int64(s.caps[i]); clamped > c {
+		clamped = c
+	}
+	s.adjust[i] = raw - clamped
+	s.space[i] = clamped
+	s.resync[i] = false
+	// The re-integrated replica's empty pipeline lets it race to the
+	// stream front; do not convict the healthy side for that transient.
+	s.selGrace[i] = int64(s.caps[i]) + s.divThres
+	s.faulty[i] = false
+	s.reasons[i] = ""
+}
+
 // Write submits replica's (1-based) next token, blocking on the
 // interface's own space only (Lemma 1). Returns false after Close.
 func (s *Selector) Write(replica int, tok Token) bool {
@@ -191,14 +307,39 @@ func (s *Selector) Write(replica int, tok Token) bool {
 	other := 1 - i
 	var fire []Fault
 	s.mu.Lock()
-	for s.space[i] == 0 && !s.closed {
-		s.notFull[i].Wait()
+	for {
+		if s.closed {
+			s.mu.Unlock()
+			return false
+		}
+		if s.resync[i] {
+			last := s.lastSeqW[other]
+			switch {
+			case tok.Seq <= 0 || tok.Seq < last:
+				// Stale pipeline remnant from before the outage: discard
+				// without counting.
+				s.resyncDrops[i]++
+				s.mu.Unlock()
+				return true
+			case tok.Seq == last:
+				s.align(i, other, 1) // late duplicate of other's current pair
+			case tok.Seq == last+1:
+				s.align(i, other, 0) // first token of the next pair
+			default:
+				// Ahead of the healthy write front: wait for the healthy
+				// interface to advance. Only the recovering side blocks
+				// here, so Lemma 1 isolation is preserved.
+				s.resyncWait.Wait()
+				continue
+			}
+		}
+		if s.space[i] == 0 {
+			s.notFull[i].Wait()
+			continue // a Reintegrate may have re-routed this interface
+		}
+		break
 	}
-	if s.closed {
-		s.mu.Unlock()
-		return false
-	}
-	if s.wcnt[i] >= s.wcnt[other] {
+	if s.effW(i) >= s.effW(other) {
 		s.fifo = append(s.fifo, tok)
 		if len(s.fifo) > s.maxFill {
 			s.maxFill = len(s.fifo)
@@ -209,7 +350,15 @@ func (s *Selector) Write(replica int, tok Token) bool {
 	}
 	s.wcnt[i]++
 	s.space[i]--
-	if s.divThres > 0 && !s.faulty[other] && s.wcnt[i]-s.wcnt[other] >= s.divThres {
+	s.lastSeqW[i] = tok.Seq
+	if s.selGrace[i] > 0 {
+		s.selGrace[i]--
+	}
+	if s.resync[other] {
+		s.resyncWait.Broadcast()
+	}
+	if s.divThres > 0 && !s.faulty[other] && !s.resync[other] && s.selGrace[i] == 0 &&
+		s.effW(i)-s.effW(other) >= s.divThres {
 		s.faulty[other] = true
 		s.faultAt[other] = s.clock.Now()
 		s.reasons[other] = "divergence"
@@ -239,9 +388,11 @@ func (s *Selector) Read() (Token, bool) {
 	tok := s.fifo[0]
 	copy(s.fifo, s.fifo[1:])
 	s.fifo = s.fifo[:len(s.fifo)-1]
+	s.reads++
 	for i := 0; i < 2; i++ {
 		s.space[i]++
-		if !s.faulty[i] && s.space[i] > int64(s.caps[i]) {
+		// An interface mid-resync is exempt until it re-aligns.
+		if !s.faulty[i] && !s.resync[i] && s.space[i] > int64(s.caps[i]) {
 			s.faulty[i] = true
 			s.faultAt[i] = s.clock.Now()
 			s.reasons[i] = "consumer-stall"
@@ -266,6 +417,7 @@ func (s *Selector) Close() {
 	s.notEmpty.Broadcast()
 	s.notFull[0].Broadcast()
 	s.notFull[1].Broadcast()
+	s.resyncWait.Broadcast()
 }
 
 // Faulty reports replica's (1-based) conviction and reason.
@@ -281,6 +433,30 @@ func (s *Selector) Drops(replica int) int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.drops[replica-1]
+}
+
+// Writes returns how many tokens interface replica (1-based) has
+// written (counted writes only).
+func (s *Selector) Writes(replica int) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.wcnt[replica-1]
+}
+
+// ResyncDrops counts stale tokens interface replica (1-based) discarded
+// uncounted during re-integration; Resyncing reports whether it is
+// still seeking its alignment point.
+func (s *Selector) ResyncDrops(replica int) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.resyncDrops[replica-1]
+}
+
+// Resyncing reports whether interface replica (1-based) is mid-resync.
+func (s *Selector) Resyncing(replica int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.resync[replica-1]
 }
 
 // MaxFill returns the largest observed fill.

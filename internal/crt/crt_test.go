@@ -334,3 +334,95 @@ func TestFaultString(t *testing.T) {
 		t.Errorf("String = %q", f.String())
 	}
 }
+
+// TestReplicatorReintegrate convicts replica 1 by queue-full, then
+// re-integrates it and checks the re-armed queue mirrors the healthy
+// backlog and detection is re-armed.
+func TestReplicatorReintegrate(t *testing.T) {
+	r := NewReplicator(&fakeClock{}, "R", [2]int{2, 8}, nil)
+	for i := int64(1); i <= 5; i++ {
+		r.Write(Token{Seq: i}) // nobody reads queue 1: convicts at write 3
+	}
+	if ok, _ := r.Faulty(1); !ok {
+		t.Fatal("replica 1 not convicted")
+	}
+	if !r.Reintegrate(1, 1) {
+		t.Fatal("Reintegrate refused despite healthy replica 2")
+	}
+	if ok, _ := r.Faulty(1); ok {
+		t.Error("replica 1 still convicted after re-integration")
+	}
+	if got := r.Fill(1); got != 1 {
+		t.Errorf("re-armed fill = %d, want 1", got)
+	}
+	// The re-armed token is the newest from the healthy backlog.
+	if tok, ok := r.Read(1); !ok || tok.Seq != 5 {
+		t.Errorf("re-armed token = %v ok=%v, want Seq 5", tok.Seq, ok)
+	}
+	// Detection is re-armed: filling queue 1 again re-convicts.
+	for i := int64(6); i <= 9; i++ {
+		r.Write(Token{Seq: i})
+	}
+	if ok, _ := r.Faulty(1); !ok {
+		t.Error("queue-full detection not re-armed after re-integration")
+	}
+	r.Close()
+}
+
+// TestSelectorReintegrate runs the full resync protocol single-threaded
+// (deterministically): convict replica 2 by divergence, keep replica 1
+// streaming, re-integrate 2 with a stale + aligned token sequence, and
+// verify the consumer stream stays gapless while conviction clears.
+func TestSelectorReintegrate(t *testing.T) {
+	s := NewSelector(&fakeClock{}, "S", [2]int{8, 8}, [2]int{0, 0}, 3, nil)
+	// Replica 2 silent: replica 1's third write convicts it (divergence,
+	// before any read can trip the stall rule).
+	for i := int64(1); i <= 4; i++ {
+		s.Write(1, Token{Seq: i})
+	}
+	for i := 0; i < 4; i++ {
+		s.Read()
+	}
+	if ok, _, reason := s.Faulty(2); !ok || reason != "divergence" {
+		t.Fatalf("Faulty(2) = %v %s, want divergence conviction", ok, reason)
+	}
+	if s.Reintegrate(1) {
+		t.Error("Reintegrate(1) should refuse: replica 2 is not a healthy reference")
+	}
+	if !s.Reintegrate(2) {
+		t.Fatal("Reintegrate(2) refused despite healthy replica 1")
+	}
+	// Stale tokens (Seq < healthy front 4) are dropped uncounted; Seq 4
+	// aligns as the late duplicate of the current pair, Seq 5 arbitrates
+	// normally as first-of-next-pair and is enqueued.
+	for i := int64(2); i <= 5; i++ {
+		s.Write(2, Token{Seq: i})
+	}
+	if s.Resyncing(2) {
+		t.Error("replica 2 still resyncing after alignment token")
+	}
+	if got := s.ResyncDrops(2); got != 2 {
+		t.Errorf("resync drops = %d, want 2 (Seq 2..3 stale)", got)
+	}
+	if ok, _, _ := s.Faulty(2); ok {
+		t.Error("replica 2 still convicted after alignment")
+	}
+	// Both replicas stream on; consumer sees a gapless sequence.
+	want := int64(5)
+	if tok, ok := s.Read(); !ok || tok.Seq != want {
+		t.Fatalf("post-recovery token = %v ok=%v, want Seq %d", tok.Seq, ok, want)
+	}
+	for i := int64(6); i <= 9; i++ {
+		s.Write(1, Token{Seq: i})
+		s.Write(2, Token{Seq: i})
+		tok, ok := s.Read()
+		if !ok || tok.Seq != i {
+			t.Fatalf("token after recovery = %v ok=%v, want Seq %d", tok.Seq, ok, i)
+		}
+	}
+	// Redundancy restored: pair accounting sees replica 2 participating.
+	if s.Drops(1)+s.Drops(2) == 0 {
+		t.Error("no late duplicates dropped after recovery: replica 2 not arbitrating")
+	}
+	s.Close()
+}

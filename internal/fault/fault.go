@@ -59,6 +59,15 @@ func (m Mode) String() string {
 // the paper's model for studying transient faults: the replica resumes,
 // its stale tokens surface as late duplicates the selector drops, and
 // any conviction already made stays latched.
+// Injection records one inject/repair cycle of a Switch.
+type Injection struct {
+	Mode       Mode
+	ExtraUs    des.Time
+	At         des.Time
+	RepairedAt des.Time // valid when Repaired
+	Repaired   bool
+}
+
 type Switch struct {
 	k        *des.Kernel
 	mode     Mode
@@ -67,6 +76,7 @@ type Switch struct {
 	blocked  des.Signal
 	injected bool
 	repaired bool
+	history  []Injection
 }
 
 // NewSwitch creates a healthy switch bound to the kernel.
@@ -84,6 +94,7 @@ func (s *Switch) Inject(mode Mode, extraUs des.Time) {
 	s.extraUs = extraUs
 	s.at = s.k.Now()
 	s.injected = true
+	s.history = append(s.history, Injection{Mode: mode, ExtraUs: extraUs, At: s.at})
 }
 
 // InjectAt schedules the fault for virtual time t.
@@ -111,6 +122,10 @@ func (s *Switch) Repair() {
 	s.mode = None
 	s.extraUs = 0
 	s.repaired = true
+	if n := len(s.history); n > 0 && !s.history[n-1].Repaired {
+		s.history[n-1].Repaired = true
+		s.history[n-1].RepairedAt = s.k.Now()
+	}
 	s.k.Broadcast(&s.blocked)
 }
 
@@ -121,6 +136,12 @@ func (s *Switch) RepairAt(t des.Time) {
 
 // Repaired reports whether the switch has ever been repaired.
 func (s *Switch) Repaired() bool { return s.repaired }
+
+// Injections returns the full inject/repair history in injection order;
+// campaign engines use it to audit multi-fault scenarios.
+func (s *Switch) Injections() []Injection {
+	return append([]Injection(nil), s.history...)
+}
 
 // blockWhileStopped parks the process until the stop fault is repaired
 // (never, for the paper's permanent faults).

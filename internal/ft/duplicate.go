@@ -63,6 +63,14 @@ type System struct {
 	Cores map[string]*scc.Core
 	// Faults records every detection event in order.
 	Faults []Fault
+
+	faultHooks []FaultHandler
+}
+
+// AddFaultHook registers an additional observer of detection events
+// after Build; recovery managers use it to react to convictions.
+func (sys *System) AddFaultHook(fn FaultHandler) {
+	sys.faultHooks = append(sys.faultHooks, fn)
 }
 
 // Build instantiates the duplicated network for the given reference
@@ -107,6 +115,9 @@ func Build(k *des.Kernel, net *kpn.Network, cfg BuildConfig) (*System, error) {
 		sys.Faults = append(sys.Faults, f)
 		if cfg.OnFault != nil {
 			cfg.OnFault(f)
+		}
+		for _, fn := range sys.faultHooks {
+			fn(f)
 		}
 	}
 

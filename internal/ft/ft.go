@@ -78,6 +78,13 @@ func (fs *faultState) flag(r int, reason Reason) {
 	}
 }
 
+// reinstate clears replica r's (0-based) conviction so detection re-arms
+// for the next fault. The last conviction's time and reason remain
+// readable until the replica is convicted again.
+func (fs *faultState) reinstate(r int) {
+	fs.faulty[r] = false
+}
+
 // Faulty reports whether replica r (1-based) has been marked faulty, and
 // if so when and why.
 func (fs *faultState) Faulty(r int) (bool, des.Time, Reason) {

@@ -47,6 +47,12 @@ func (fs *nFaultState) flag(r int, reason Reason) {
 	}
 }
 
+// reinstate clears replica r's (0-based) conviction so detection re-arms
+// for the next fault.
+func (fs *nFaultState) reinstate(r int) {
+	fs.faulty[r] = false
+}
+
 // Faulty reports replica r's (1-based) detection state.
 func (fs *nFaultState) Faulty(r int) (bool, des.Time, Reason) {
 	i := r - 1
@@ -78,6 +84,14 @@ type NReplicator struct {
 	writes int64
 	lost   int64
 
+	// Re-integration bookkeeping; see Replicator for the semantics
+	// (slide: continuous re-arm until the first post-recovery read).
+	appended   []int64
+	purged     []int64
+	readBase   []int64
+	graceReads []int64
+	slide      []bool
+
 	notEmpty []des.Signal
 
 	// DReads enables read-divergence detection: a replica lagging the
@@ -101,6 +115,11 @@ func NewNReplicator(k *des.Kernel, name string, caps []int, handler FaultHandler
 		caps:        append([]int(nil), caps...),
 		queues:      make([][]kpn.Token, len(caps)),
 		reads:       make([]int64, len(caps)),
+		appended:    make([]int64, len(caps)),
+		purged:      make([]int64, len(caps)),
+		readBase:    make([]int64, len(caps)),
+		graceReads:  make([]int64, len(caps)),
+		slide:       make([]bool, len(caps)),
 		notEmpty:    make([]des.Signal, len(caps)),
 	}
 }
@@ -115,6 +134,53 @@ func (r *NReplicator) Fill(replica int) int { return len(r.queues[replica-1]) }
 func (r *NReplicator) Writes() int64        { return r.writes }
 func (r *NReplicator) Lost() int64          { return r.lost }
 
+// effReads is replica i's effective consumption position since its last
+// (re-)integration base.
+func (r *NReplicator) effReads(i int) int64 { return r.reads[i] - r.readBase[i] }
+
+// Reintegrate re-arms replica's (1-based) queue from the healthiest
+// front-runner's queue, mirroring Replicator.Reintegrate for the m-way
+// channel. It reports false if no healthy source replica exists.
+func (r *NReplicator) Reintegrate(replica int, fill int, graceReads int64) bool {
+	i := replica - 1
+	if i < 0 || i >= len(r.caps) {
+		panic(fmt.Sprintf("ft: n-replicator replica %d out of range [1,%d]", replica, len(r.caps)))
+	}
+	h := -1
+	for j := range r.caps {
+		if j == i || r.faulty[j] {
+			continue
+		}
+		if h < 0 || r.effReads(j) > r.effReads(h) {
+			h = j
+		}
+	}
+	if h < 0 {
+		return false
+	}
+	if fill > r.caps[i]-1 {
+		fill = r.caps[i] - 1
+	}
+	src := r.queues[h]
+	if fill > len(src) {
+		fill = len(src)
+	}
+	if fill < 0 {
+		fill = 0
+	}
+	r.purged[i] += int64(len(r.queues[i]))
+	r.queues[i] = append(r.queues[i][:0], src[len(src)-fill:]...)
+	r.appended[i] += int64(fill)
+	r.readBase[i] = r.reads[i] - (r.effReads(h) + int64(len(src)-fill))
+	r.graceReads[i] = graceReads
+	r.slide[i] = true
+	r.reinstate(i)
+	if fill > 0 {
+		r.k.Broadcast(&r.notEmpty[i])
+	}
+	return true
+}
+
 func (r *NReplicator) write(p *des.Proc, tok kpn.Token) {
 	delivered := false
 	for i := range r.queues {
@@ -122,10 +188,18 @@ func (r *NReplicator) write(p *des.Proc, tok kpn.Token) {
 			continue
 		}
 		if len(r.queues[i]) >= r.caps[i] {
-			r.flag(i, ReasonQueueFull)
-			continue
+			if !r.slide[i] {
+				r.flag(i, ReasonQueueFull)
+				continue
+			}
+			// Continuous re-arm until the first post-recovery read.
+			copy(r.queues[i], r.queues[i][1:])
+			r.queues[i] = r.queues[i][:len(r.queues[i])-1]
+			r.purged[i]++
+			r.readBase[i]--
 		}
 		r.queues[i] = append(r.queues[i], tok)
+		r.appended[i]++
 		r.k.Broadcast(&r.notEmpty[i])
 		delivered = true
 	}
@@ -143,14 +217,31 @@ func (r *NReplicator) read(p *des.Proc, i int) kpn.Token {
 	copy(r.queues[i], r.queues[i][1:])
 	r.queues[i] = r.queues[i][:len(r.queues[i])-1]
 	r.reads[i]++
-	if r.DReads > 0 {
+	r.slide[i] = false
+	if r.graceReads[i] > 0 {
+		r.graceReads[i]--
+	}
+	if r.DReads > 0 && r.graceReads[i] == 0 {
 		for j := range r.reads {
-			if j != i && !r.faulty[j] && r.reads[i]-r.reads[j] >= r.DReads {
+			if j != i && !r.faulty[j] && r.graceReads[j] == 0 &&
+				r.effReads(i)-r.effReads(j) >= r.DReads {
 				r.flag(j, ReasonDivergence)
 			}
 		}
 	}
 	return tok
+}
+
+// CheckInvariants verifies the n-replicator's queue bookkeeping: per
+// replica, fill = appended - reads - purged.
+func (r *NReplicator) CheckInvariants() error {
+	for i := range r.queues {
+		if want := r.appended[i] - r.reads[i] - r.purged[i]; int64(len(r.queues[i])) != want {
+			return fmt.Errorf("ft: n-replicator %q queue %d fill = %d, bookkeeping gives %d",
+				r.name, i+1, len(r.queues[i]), want)
+		}
+	}
+	return nil
 }
 
 // WriterPort returns the single producer-facing write interface.
@@ -192,13 +283,23 @@ type NSelector struct {
 	wcnt  []int64
 	drops []int64
 
+	// Re-integration bookkeeping; see Selector for the semantics.
+	wBase       []int64
+	lastSeqW    []int64
+	resync      []bool
+	resyncDrops []int64
+	adjust      []int64
+	selGrace    []int64
+
 	fifo []kpn.Token
 	head int
 
-	notEmpty des.Signal
-	notFull  []des.Signal
+	notEmpty   des.Signal
+	notFull    []des.Signal
+	resyncWait des.Signal
 
 	reads   int64
+	nPre    int
 	maxFill int
 
 	// D is the divergence threshold (eq. 5 computed pairwise over all
@@ -223,6 +324,12 @@ func NewNSelector(k *des.Kernel, name string, caps, inits []int, d int64, preloa
 		space:       make([]int64, len(caps)),
 		wcnt:        make([]int64, len(caps)),
 		drops:       make([]int64, len(caps)),
+		wBase:       make([]int64, len(caps)),
+		lastSeqW:    make([]int64, len(caps)),
+		resync:      make([]bool, len(caps)),
+		resyncDrops: make([]int64, len(caps)),
+		adjust:      make([]int64, len(caps)),
+		selGrace:    make([]int64, len(caps)),
 		notFull:     make([]des.Signal, len(caps)),
 		D:           d,
 	}
@@ -247,6 +354,7 @@ func NewNSelector(k *des.Kernel, name string, caps, inits []int, d int64, preloa
 		}
 		s.fifo = append(s.fifo, tok)
 	}
+	s.nPre = nPre
 	s.maxFill = nPre
 	for i := range caps {
 		// Initial credits affect only space; pairing and divergence use
@@ -268,13 +376,108 @@ func (s *NSelector) Writes(replica int) int64 { return s.wcnt[replica-1] }
 func (s *NSelector) Drops(replica int) int64  { return s.drops[replica-1] }
 func (s *NSelector) Space(replica int) int64  { return s.space[replica-1] }
 
+// effW is interface i's pair index since its last (re-)integration base.
+func (s *NSelector) effW(i int) int64 { return s.wcnt[i] - s.wBase[i] }
+
+// healthyRef returns the healthy, non-resyncing interface with the
+// maximal pair index (the front-runner), or -1 if none exists.
+func (s *NSelector) healthyRef(i int) int {
+	h := -1
+	for j := range s.wcnt {
+		if j == i || s.faulty[j] || s.resync[j] {
+			continue
+		}
+		if h < 0 || s.effW(j) > s.effW(h) {
+			h = j
+		}
+	}
+	return h
+}
+
+// Resyncing reports whether interface replica (1-based) is still seeking
+// its alignment point; ResyncDrops counts its stale tokens discarded.
+func (s *NSelector) Resyncing(replica int) bool    { return s.resync[replica-1] }
+func (s *NSelector) ResyncDrops(replica int) int64 { return s.resyncDrops[replica-1] }
+
+// Reintegrate puts interface replica (1-based) into resynchronization;
+// it mirrors Selector.Reintegrate for the m-way channel and reports
+// false if no healthy reference interface exists.
+func (s *NSelector) Reintegrate(replica int) bool {
+	i := replica - 1
+	if i < 0 || i >= len(s.caps) {
+		panic(fmt.Sprintf("ft: n-selector replica %d out of range [1,%d]", replica, len(s.caps)))
+	}
+	if s.resync[i] {
+		return true
+	}
+	h := s.healthyRef(i)
+	if h < 0 {
+		return false
+	}
+	// As in Selector.Reintegrate: a convicted replica is at or behind
+	// the reference stream; an interface ahead of every healthy
+	// reference has nothing to re-align against — refuse rather than
+	// re-enqueue pairs already in the FIFO.
+	if s.effW(i) > s.effW(h) {
+		return false
+	}
+	s.resync[i] = true
+	s.k.Broadcast(&s.notFull[i])
+	s.k.Broadcast(&s.resyncWait)
+	return true
+}
+
+// align ends interface i's resynchronization against reference h; see
+// Selector.align.
+func (s *NSelector) align(i, h int, back int64) {
+	s.wBase[i] = s.wcnt[i] - (s.effW(h) - back)
+	raw := int64(s.caps[i]-s.inits[i]) - s.effW(i) + s.reads
+	clamped := raw
+	if clamped < 0 {
+		clamped = 0
+	}
+	if c := int64(s.caps[i]); clamped > c {
+		clamped = c
+	}
+	s.adjust[i] = raw - clamped
+	s.space[i] = clamped
+	s.resync[i] = false
+	s.selGrace[i] = int64(s.caps[i]) + s.D
+	s.reinstate(i)
+}
+
 func (s *NSelector) write(p *des.Proc, i int, tok kpn.Token) {
-	for s.space[i] == 0 {
-		p.Wait(&s.notFull[i])
+	for {
+		if s.resync[i] {
+			h := s.healthyRef(i)
+			if h < 0 {
+				// No healthy reference stream left; park until one
+				// reappears (or the simulation quiesces).
+				p.Wait(&s.resyncWait)
+				continue
+			}
+			switch last := s.lastSeqW[h]; {
+			case tok.Seq <= 0 || tok.Seq < last:
+				s.resyncDrops[i]++
+				return
+			case tok.Seq == last:
+				s.align(i, h, 1)
+			case tok.Seq == last+1:
+				s.align(i, h, 0)
+			default:
+				p.Wait(&s.resyncWait)
+				continue
+			}
+		}
+		if s.space[i] == 0 {
+			p.Wait(&s.notFull[i])
+			continue
+		}
+		break
 	}
 	first := true
 	for j := range s.wcnt {
-		if j != i && s.wcnt[j] > s.wcnt[i] {
+		if j != i && s.effW(j) > s.effW(i) {
 			first = false
 			break
 		}
@@ -290,9 +493,19 @@ func (s *NSelector) write(p *des.Proc, i int, tok kpn.Token) {
 	}
 	s.wcnt[i]++
 	s.space[i]--
-	if s.D > 0 {
+	s.lastSeqW[i] = tok.Seq
+	if s.selGrace[i] > 0 {
+		s.selGrace[i]--
+	}
+	for j := range s.resync {
+		if s.resync[j] {
+			s.k.Broadcast(&s.resyncWait)
+			break
+		}
+	}
+	if s.D > 0 && s.selGrace[i] == 0 {
 		for j := range s.wcnt {
-			if j != i && !s.faulty[j] && s.wcnt[i]-s.wcnt[j] >= s.D {
+			if j != i && !s.faulty[j] && !s.resync[j] && s.effW(i)-s.effW(j) >= s.D {
 				s.flag(j, ReasonDivergence)
 			}
 		}
@@ -313,12 +526,33 @@ func (s *NSelector) read(p *des.Proc) kpn.Token {
 	s.reads++
 	for i := range s.space {
 		s.space[i]++
-		if !s.faulty[i] && s.space[i] > int64(s.caps[i]) {
+		if !s.faulty[i] && !s.resync[i] && s.space[i] > int64(s.caps[i]) {
 			s.flag(i, ReasonConsumerStall)
 		}
 		s.k.Broadcast(&s.notFull[i])
 	}
 	return tok
+}
+
+// CheckInvariants verifies the n-selector's counter identities; see
+// Selector.CheckInvariants.
+func (s *NSelector) CheckInvariants() error {
+	var maxEff int64
+	for i := range s.caps {
+		want := int64(s.caps[i]-s.inits[i]) - s.effW(i) + s.reads - s.adjust[i]
+		if s.space[i] != want {
+			return fmt.Errorf("ft: n-selector %q space_%d = %d, counter identity gives %d",
+				s.name, i+1, s.space[i], want)
+		}
+		if e := s.effW(i); i == 0 || e > maxEff {
+			maxEff = e
+		}
+	}
+	if want := int64(s.nPre) + maxEff - s.reads; int64(s.Fill()) != want {
+		return fmt.Errorf("ft: n-selector %q fill = %d, pair accounting gives %d",
+			s.name, s.Fill(), want)
+	}
+	return nil
 }
 
 // WriterPort returns replica i's (1-based) write interface.

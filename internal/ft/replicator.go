@@ -33,6 +33,29 @@ type Replicator struct {
 	lost    int64 // tokens dropped because both replicas were faulty
 	maxFill [2]int
 
+	// appended and purged track queue bookkeeping across re-integration:
+	// len(queue_i) = appended_i - reads_i - purged_i at all times.
+	appended [2]int64
+	purged   [2]int64
+	// readBase rebases a queue's consumption position after
+	// re-integration: replica i's effective position is
+	// reads[i]-readBase[i]. All-zero bases reproduce the original
+	// counters exactly.
+	readBase [2]int64
+	// graceReads suppresses read-divergence convictions involving a
+	// freshly re-integrated replica for its first graceReads[i]
+	// consumptions, covering the transient position skew its re-armed
+	// queue introduces.
+	graceReads [2]int64
+	// slide marks a re-integrated replica that has not read since: until
+	// its first read the queue keeps re-arming itself on overflow (drop
+	// oldest, append newest) instead of convicting — the replica may
+	// still be finishing an operation that was in flight (and possibly
+	// degraded) when the fault was repaired. The window stays contiguous,
+	// so pair identity is preserved; queue-full detection is fully armed
+	// again from the first read on.
+	slide [2]bool
+
 	notEmpty [2]des.Signal
 	notFull  des.Signal
 
@@ -87,6 +110,58 @@ func (r *Replicator) Writes() int64           { return r.writes }
 func (r *Replicator) Reads(replica int) int64 { return r.reads[replica-1] }
 func (r *Replicator) Lost() int64             { return r.lost }
 
+// effReads is replica i's effective consumption position since its last
+// (re-)integration base.
+func (r *Replicator) effReads(i int) int64 { return r.reads[i] - r.readBase[i] }
+
+// Reintegrate re-arms replica's (1-based) queue after its fault has been
+// repaired: the stale backlog is purged and replaced by a copy of the
+// newest fill tokens of the healthy replica's queue (trimmed to the
+// queue's own capacity minus one, so re-admission cannot itself trip
+// queue-full), the consumption position is rebased to the re-armed
+// content, and the conviction is cleared so the next fault is detected.
+// graceReads read-divergence convictions involving this replica are
+// excused while the transient position skew drains. The other replica
+// must be healthy — it is the re-arm source; Reintegrate reports false
+// and does nothing otherwise.
+func (r *Replicator) Reintegrate(replica int, fill int, graceReads int64) bool {
+	i := replica - 1
+	if i < 0 || i > 1 {
+		panic(fmt.Sprintf("ft: replicator replica %d out of range {1,2}", replica))
+	}
+	h := 1 - i
+	if r.faulty[h] {
+		return false
+	}
+	if fill > r.caps[i]-1 {
+		fill = r.caps[i] - 1
+	}
+	src := r.queues[h]
+	if fill > len(src) {
+		fill = len(src)
+	}
+	if fill < 0 {
+		fill = 0
+	}
+	r.purged[i] += int64(len(r.queues[i]))
+	r.queues[i] = append(r.queues[i][:0], src[len(src)-fill:]...)
+	r.appended[i] += int64(fill)
+	if fill > r.maxFill[i] {
+		r.maxFill[i] = fill
+	}
+	// Position-true rebase: holding the newest fill tokens of h's queue
+	// means replica i has virtually consumed everything before them,
+	// i.e. it sits len(src)-fill positions ahead of h.
+	r.readBase[i] = r.reads[i] - (r.effReads(h) + int64(len(src)-fill))
+	r.graceReads[i] = graceReads
+	r.slide[i] = true
+	r.reinstate(i)
+	if fill > 0 {
+		r.k.Broadcast(&r.notEmpty[i])
+	}
+	return true
+}
+
 // write duplicates a token into all healthy queues.
 func (r *Replicator) write(p *des.Proc, tok kpn.Token) {
 	if r.Strict {
@@ -97,6 +172,7 @@ func (r *Replicator) write(p *des.Proc, tok kpn.Token) {
 		r.queues[1] = append(r.queues[1], tok)
 		r.writes++
 		for i := 0; i < 2; i++ {
+			r.appended[i]++
 			if n := len(r.queues[i]); n > r.maxFill[i] {
 				r.maxFill[i] = n
 			}
@@ -113,10 +189,20 @@ func (r *Replicator) write(p *des.Proc, tok kpn.Token) {
 			continue
 		}
 		if r.space(i) == 0 {
-			r.flag(i, ReasonQueueFull)
-			continue
+			if !r.slide[i] {
+				r.flag(i, ReasonQueueFull)
+				continue
+			}
+			// Continuous re-arm until the first post-recovery read: keep
+			// the newest contiguous window, advancing the replica's
+			// virtual consumption position past the dropped token.
+			copy(r.queues[i], r.queues[i][1:])
+			r.queues[i] = r.queues[i][:len(r.queues[i])-1]
+			r.purged[i]++
+			r.readBase[i]--
 		}
 		r.queues[i] = append(r.queues[i], tok)
+		r.appended[i]++
 		if n := len(r.queues[i]); n > r.maxFill[i] {
 			r.maxFill[i] = n
 		}
@@ -138,6 +224,10 @@ func (r *Replicator) read(p *des.Proc, i int) kpn.Token {
 	copy(r.queues[i], r.queues[i][1:])
 	r.queues[i] = r.queues[i][:len(r.queues[i])-1]
 	r.reads[i]++
+	r.slide[i] = false
+	if r.graceReads[i] > 0 {
+		r.graceReads[i]--
+	}
 	if fn := r.onRead[i]; fn != nil {
 		fn(r.k.Now())
 	}
@@ -145,13 +235,28 @@ func (r *Replicator) read(p *des.Proc, i int) kpn.Token {
 		r.k.Broadcast(&r.notFull)
 	} else if d := r.DReads; d > 0 {
 		// Read-divergence detection: the *other* replica lags if this
-		// one has consumed D more tokens.
+		// one has consumed D more tokens (positions rebased across
+		// re-integration). Convictions involving a replica still inside
+		// its re-integration grace are excused.
 		other := 1 - i
-		if !r.faulty[other] && r.reads[i]-r.reads[other] >= d {
+		if !r.faulty[other] && r.graceReads[i] == 0 && r.graceReads[other] == 0 &&
+			r.effReads(i)-r.effReads(other) >= d {
 			r.flag(other, ReasonDivergence)
 		}
 	}
 	return tok
+}
+
+// CheckInvariants verifies the replicator's queue bookkeeping: per
+// replica, fill = appended - reads - purged.
+func (r *Replicator) CheckInvariants() error {
+	for i := 0; i < 2; i++ {
+		if want := r.appended[i] - r.reads[i] - r.purged[i]; int64(len(r.queues[i])) != want {
+			return fmt.Errorf("ft: replicator %q queue %d fill = %d, bookkeeping gives %d",
+				r.name, i+1, len(r.queues[i]), want)
+		}
+	}
+	return nil
 }
 
 // replicatorWriter is the producer-facing write interface.

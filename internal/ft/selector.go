@@ -46,14 +46,40 @@ type Selector struct {
 	// asymmetric initial fills and lose a token on fail-over.
 	wcnt  [2]int64
 	drops [2]int64
+	// wBase rebases an interface's pair index after re-integration:
+	// interface i's next write belongs to pair wcnt[i]-wBase[i]+1.
+	// All-zero bases reproduce the original counters exactly.
+	wBase [2]int64
+	// lastSeqW is the stream index (token Seq) of interface i's last
+	// counted write; resynchronization aligns a recovering interface's
+	// pair index against the healthy interface's lastSeqW.
+	lastSeqW [2]int64
+	// resync marks an interface undergoing re-integration: its writes
+	// bypass arbitration until the Seq alignment point is found.
+	resync [2]bool
+	// resyncDrops counts stale tokens discarded (uncounted) during
+	// resynchronization.
+	resyncDrops [2]int64
+	// adjust records the space-counter correction applied when the
+	// counter was recomputed at alignment, keeping the invariant
+	// space = caps - inits - effW + reads - adjust machine-checkable.
+	adjust [2]int64
+	// selGrace suppresses divergence convictions *by* a freshly
+	// re-aligned interface for its first few counted writes: its empty
+	// pipeline lets it transiently run ahead of the healthy replica's
+	// in-flight backlog, which is not a model violation by the other
+	// side.
+	selGrace [2]int64
 
 	fifo []kpn.Token
 	head int
 
-	notEmpty des.Signal
-	notFull  [2]des.Signal
+	notEmpty   des.Signal
+	notFull    [2]des.Signal
+	resyncWait des.Signal
 
 	reads   int64
+	nPre    int
 	maxFill int
 
 	// D is the divergence threshold from rtc.DivergenceThreshold; 0
@@ -107,6 +133,7 @@ func NewSelector(k *des.Kernel, name string, caps, inits [2]int, d int64, preloa
 		}
 		s.fifo = append(s.fifo, tok)
 	}
+	s.nPre = nPre
 	s.maxFill = nPre
 	for i := 0; i < 2; i++ {
 		s.space[i] = int64(caps[i] - inits[i])
@@ -133,13 +160,112 @@ func (s *Selector) Writes(replica int) int64 { return s.wcnt[replica-1] }
 func (s *Selector) Drops(replica int) int64  { return s.drops[replica-1] }
 func (s *Selector) Reads() int64             { return s.reads }
 
-// write implements rule 3 with fault detection on interface i (0-based).
+// ResyncDrops returns how many stale tokens interface k (1-based)
+// discarded uncounted during re-integration; Resyncing reports whether
+// the interface is still seeking its alignment point.
+func (s *Selector) ResyncDrops(replica int) int64 { return s.resyncDrops[replica-1] }
+func (s *Selector) Resyncing(replica int) bool    { return s.resync[replica-1] }
+
+// effW is interface i's pair index: how many duplicate pairs it has
+// participated in since its last (re-)integration base.
+func (s *Selector) effW(i int) int64 { return s.wcnt[i] - s.wBase[i] }
+
+// Reintegrate puts interface replica (1-based) into resynchronization
+// after its replica has been repaired: stale tokens still in the
+// replica's pipeline (stream index at or below the healthy interface's
+// last counted write) are discarded uncounted, and the first token at or
+// just past the healthy write front re-aligns the interface's pair
+// index, space counter and divergence base, clearing its conviction.
+// The other interface must currently be healthy — it is the reference
+// stream; Reintegrate reports false and does nothing otherwise.
+func (s *Selector) Reintegrate(replica int) bool {
+	i := replica - 1
+	if i < 0 || i > 1 {
+		panic(fmt.Sprintf("ft: selector replica %d out of range {1,2}", replica))
+	}
+	h := 1 - i
+	if s.faulty[h] || s.resync[h] {
+		return false
+	}
+	if s.resync[i] {
+		return true
+	}
+	// A convicted replica is always at or behind the reference stream
+	// (stall and divergence both catch the laggard). Re-integrating an
+	// interface that is ahead would re-align its pair index backwards and
+	// re-enqueue pairs already in the FIFO, corrupting the stream —
+	// refuse rather than corrupt.
+	if s.effW(i) > s.effW(h) {
+		return false
+	}
+	s.resync[i] = true
+	// A writer parked on the space counter must re-route through the
+	// resync path; one parked mid-resync re-evaluates the new state.
+	s.k.Broadcast(&s.notFull[i])
+	s.k.Broadcast(&s.resyncWait)
+	return true
+}
+
+// align ends interface i's resynchronization against the healthy
+// reference h. back=0 aligns the pending token as the first of the next
+// pair (it arrived ahead of h); back=1 aligns it as the late duplicate
+// of h's last pair. The space counter is recomputed from the counter
+// identity and clamped into [0, caps]; the clamp residue is kept in
+// adjust so the identity stays checkable (and detection thresholds shift
+// by at most that residue, in the conservative direction for clamp-downs).
+func (s *Selector) align(i, h int, back int64) {
+	s.wBase[i] = s.wcnt[i] - (s.effW(h) - back)
+	raw := int64(s.caps[i]-s.inits[i]) - s.effW(i) + s.reads
+	clamped := raw
+	if clamped < 0 {
+		clamped = 0
+	}
+	if c := int64(s.caps[i]); clamped > c {
+		clamped = c
+	}
+	s.adjust[i] = raw - clamped
+	s.space[i] = clamped
+	s.resync[i] = false
+	// Grace: the re-integrated replica's empty pipeline lets it race to
+	// the stream front, transiently leading the healthy replica by up to
+	// its in-flight backlog; do not convict the healthy side for that.
+	s.selGrace[i] = int64(s.caps[i]) + s.D
+	s.reinstate(i)
+}
+
+// write implements rule 3 with fault detection on interface i (0-based),
+// and the resynchronization protocol of a re-integrating interface.
 func (s *Selector) write(p *des.Proc, i int, tok kpn.Token) {
-	for s.space[i] == 0 {
-		p.Wait(&s.notFull[i])
+	for {
+		if s.resync[i] {
+			h := 1 - i
+			switch last := s.lastSeqW[h]; {
+			case tok.Seq <= 0 || tok.Seq < last:
+				// Stale pipeline remnant from before the outage (or a
+				// preload-era token): discard without counting.
+				s.resyncDrops[i]++
+				return
+			case tok.Seq == last:
+				s.align(i, h, 1) // late duplicate of h's current pair
+			case tok.Seq == last+1:
+				s.align(i, h, 0) // first token of the next pair
+			default:
+				// Ahead of the healthy write front (the recovered
+				// replica's pipeline refilled from fresher input):
+				// wait for h to advance. Only the recovering side
+				// blocks here, so Lemma 1 isolation is preserved.
+				p.Wait(&s.resyncWait)
+				continue
+			}
+		}
+		if s.space[i] == 0 {
+			p.Wait(&s.notFull[i])
+			continue // a Reintegrate may have re-routed this interface
+		}
+		break
 	}
 	other := 1 - i
-	if s.wcnt[i] >= s.wcnt[other] {
+	if s.effW(i) >= s.effW(other) {
 		// First token of its duplicate pair: enqueue.
 		s.fifo = append(s.fifo, tok)
 		if f := s.Fill(); f > s.maxFill {
@@ -152,12 +278,22 @@ func (s *Selector) write(p *des.Proc, i int, tok kpn.Token) {
 	}
 	s.wcnt[i]++
 	s.space[i]--
+	s.lastSeqW[i] = tok.Seq
+	if s.selGrace[i] > 0 {
+		s.selGrace[i]--
+	}
+	if s.resync[other] {
+		s.k.Broadcast(&s.resyncWait)
+	}
 	if fn := s.onWrite[i]; fn != nil {
 		fn(s.k.Now())
 	}
 	// Divergence detection (§3.3): writer i leading by >= D implies the
-	// other replica's output has fallen behind its envelope.
-	if s.D > 0 && !s.faulty[other] && s.wcnt[i]-s.wcnt[other] >= s.D {
+	// other replica's output has fallen behind its envelope. An
+	// interface in resync is judged only after alignment, and a freshly
+	// aligned interface's transient lead is excused by its grace.
+	if s.D > 0 && !s.faulty[other] && !s.resync[other] && s.selGrace[i] == 0 &&
+		s.effW(i)-s.effW(other) >= s.D {
 		s.flag(other, ReasonDivergence)
 	}
 }
@@ -180,12 +316,35 @@ func (s *Selector) read(p *des.Proc) kpn.Token {
 		s.space[i]++
 		// Consumer-stall detection: space beyond the virtual capacity
 		// means this replica no longer backs the tokens being consumed.
-		if !s.faulty[i] && s.space[i] > int64(s.caps[i]) {
+		// An interface mid-resync is exempt until it re-aligns.
+		if !s.faulty[i] && !s.resync[i] && s.space[i] > int64(s.caps[i]) {
 			s.flag(i, ReasonConsumerStall)
 		}
 		s.k.Broadcast(&s.notFull[i])
 	}
 	return tok
+}
+
+// CheckInvariants verifies the selector's counter identities: per
+// interface, space = caps - inits - effW + reads - adjust, and globally
+// fill = preload + max(effW) - reads. It returns the first violation.
+func (s *Selector) CheckInvariants() error {
+	for i := 0; i < 2; i++ {
+		want := int64(s.caps[i]-s.inits[i]) - s.effW(i) + s.reads - s.adjust[i]
+		if s.space[i] != want {
+			return fmt.Errorf("ft: selector %q space_%d = %d, counter identity gives %d",
+				s.name, i+1, s.space[i], want)
+		}
+	}
+	maxEff := s.effW(0)
+	if e := s.effW(1); e > maxEff {
+		maxEff = e
+	}
+	if want := int64(s.nPre) + maxEff - s.reads; int64(s.Fill()) != want {
+		return fmt.Errorf("ft: selector %q fill = %d, pair accounting gives %d",
+			s.name, s.Fill(), want)
+	}
+	return nil
 }
 
 // selectorWriter is one replica-facing write interface.

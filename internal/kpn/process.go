@@ -106,9 +106,12 @@ func (w WorkModel) Duration(rng *rand.Rand, bytes int) des.Time {
 
 // Transform returns a behavior that repeatedly reads one token from its
 // single input, computes for a work-model duration, and writes f's
-// result to its single output. Seq numbers are regenerated to stay
-// per-stream monotonic; Stamp is the completion instant. If f is nil the
-// payload passes through unchanged.
+// result to its single output. The input token's Seq is preserved, so a
+// stream index assigned at the producer survives the whole pipeline —
+// replica re-integration (package ft) relies on this to re-align a
+// recovered replica's output stream even when the replica skipped
+// tokens during its outage. Stamp is the completion instant. If f is
+// nil the payload passes through unchanged.
 func Transform(work WorkModel, seed int64, f func(i int64, payload []byte) []byte) Behavior {
 	return func(p *des.Proc, in []ReadPort, out []WritePort) {
 		if len(in) != 1 || len(out) != 1 {
@@ -122,7 +125,7 @@ func Transform(work WorkModel, seed int64, f func(i int64, payload []byte) []byt
 			if f != nil {
 				payload = f(i, tok.Payload)
 			}
-			out[0].Write(p, Token{Seq: i, Stamp: p.Now(), Payload: payload})
+			out[0].Write(p, Token{Seq: tok.Seq, Stamp: p.Now(), Payload: payload})
 		}
 	}
 }

@@ -1,0 +1,133 @@
+// Package recover closes the loop from fault detection back to fault
+// tolerance. The paper's framework detects a timing fault and then
+// permanently isolates the convicted replica, leaving the system
+// unprotected against a second fault. A Manager subscribes to a
+// duplicated system's detection events and, after a configurable repair
+// delay (modelling replica restart or migration to a spare core),
+// repairs the replica's fault switch and re-integrates it on every
+// arbitration channel: stale tokens are drained, the replicator queue
+// is re-armed at a safe fill derived from the rtc initial-fill solver
+// (eq. 4), and the selector interface re-synchronizes its pair index
+// and virtual space counter at the healthy write front. Full redundancy
+// is restored and the next fault is tolerated again.
+package recover
+
+import (
+	"fmt"
+
+	"ftpn/internal/des"
+	"ftpn/internal/ft"
+	"ftpn/internal/rtc"
+)
+
+// Plan parameterizes recoveries issued by a Manager.
+type Plan struct {
+	// Delay is the virtual time between a replica's first conviction
+	// and its repair + re-integration (restart/relocation cost).
+	Delay des.Time
+	// Channels carries the per-channel re-arm parameters, normally
+	// built with PlanFor; its zero value uses safe defaults (full
+	// mirror of the healthy queue, capacity-sized divergence grace).
+	Channels ft.ReintegrationPlan
+	// MaxRecoveries bounds how many recoveries the manager performs per
+	// replica; 0 means unlimited. Campaign runs use 1 so a second
+	// injected fault stays convicted and measurable.
+	MaxRecoveries int
+}
+
+// PlanFor derives the re-arm fill for one replicator channel from the
+// producer and per-replica consumption envelopes via
+// rtc.ReintegrationFill (eq. 4 analogue) and returns a channel plan for
+// it. caps are the replicator's per-replica queue capacities; the
+// per-replica fill is the minimum over both, so whichever replica
+// recovers is re-armed safely.
+func PlanFor(channel string, producer rtc.PJD, inModels [2]rtc.PJD, caps [2]int) (ft.ReintegrationPlan, error) {
+	h := rtc.Horizon(producer, inModels[0], inModels[1])
+	fill := -1
+	for i, m := range inModels {
+		f, err := rtc.ReintegrationFill(producer.Lower(), m.Upper(), rtc.Count(caps[i]), h)
+		if err != nil {
+			return ft.ReintegrationPlan{}, fmt.Errorf("recover: re-arm fill for %q replica %d: %w", channel, i+1, err)
+		}
+		if fill < 0 || int(f) < fill {
+			fill = int(f)
+		}
+	}
+	return ft.ReintegrationPlan{
+		RepFill: map[string]int{channel: fill},
+	}, nil
+}
+
+// Event records one completed recovery.
+type Event struct {
+	Replica     int
+	DetectedAt  des.Time // first conviction that triggered this recovery
+	RecoveredAt des.Time
+	Detection   ft.Fault // the triggering conviction
+	Complete    bool     // every channel accepted the re-integration
+}
+
+// Manager watches a duplicated system for convictions and schedules
+// repair + re-integration per its plan. Create it with NewManager
+// before running the kernel.
+type Manager struct {
+	sys  *ft.System
+	plan Plan
+
+	pending    [2]bool
+	recoveries [2]int
+	events     []Event
+
+	// OnRecovered, when non-nil, observes each recovery as it
+	// completes; campaign engines use it to schedule follow-up faults
+	// deterministically.
+	OnRecovered func(Event)
+}
+
+// NewManager attaches a recovery manager to the system.
+func NewManager(sys *ft.System, plan Plan) *Manager {
+	m := &Manager{sys: sys, plan: plan}
+	sys.AddFaultHook(m.onFault)
+	return m
+}
+
+// Events returns the completed recoveries in order.
+func (m *Manager) Events() []Event { return append([]Event(nil), m.events...) }
+
+// onFault schedules a recovery for the convicted replica unless one is
+// already pending or the per-replica budget is exhausted. Convictions
+// of the same replica on multiple channels collapse into one recovery.
+func (m *Manager) onFault(f ft.Fault) {
+	i := f.Replica - 1
+	if m.pending[i] {
+		return
+	}
+	if m.plan.MaxRecoveries > 0 && m.recoveries[i] >= m.plan.MaxRecoveries {
+		return
+	}
+	m.pending[i] = true
+	m.recoveries[i]++
+	det := f
+	m.sys.K.At(f.At+m.plan.Delay, func() { m.recover(det) })
+}
+
+// recover re-integrates the replica on all channels, then clears its
+// fault switch — in that order, so the replica resumes against
+// already-consistent channel state within one kernel event.
+func (m *Manager) recover(det ft.Fault) {
+	i := det.Replica - 1
+	complete := m.sys.Reintegrate(det.Replica, m.plan.Channels)
+	m.sys.Switches[i].Repair()
+	m.pending[i] = false
+	ev := Event{
+		Replica:     det.Replica,
+		DetectedAt:  det.At,
+		RecoveredAt: m.sys.K.Now(),
+		Detection:   det,
+		Complete:    complete,
+	}
+	m.events = append(m.events, ev)
+	if m.OnRecovered != nil {
+		m.OnRecovered(ev)
+	}
+}

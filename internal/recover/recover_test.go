@@ -1,0 +1,140 @@
+package recover
+
+import (
+	"testing"
+
+	"ftpn/internal/des"
+	"ftpn/internal/fault"
+	"ftpn/internal/ft"
+	"ftpn/internal/kpn"
+	"ftpn/internal/rtc"
+)
+
+// testNet is a P -> W -> C network with one critical worker.
+func testNet(tokens int64, sink *[]kpn.Token) *kpn.Network {
+	return &kpn.Network{
+		Name: "recover-net",
+		Procs: []kpn.ProcessSpec{
+			{Name: "P", Role: kpn.RoleProducer, New: func(int) kpn.Behavior {
+				return kpn.Producer(rtc.PJD{Period: 1000}, 1, tokens, func(i int64) []byte {
+					return []byte{byte(i)}
+				})
+			}},
+			{Name: "W", Role: kpn.RoleCritical, New: func(replica int) kpn.Behavior {
+				return kpn.Transform(kpn.WorkModel{BaseUs: 50, JitterUs: des.Time(replica) * 100}, 3, nil)
+			}},
+			{Name: "C", Role: kpn.RoleConsumer, New: func(int) kpn.Behavior {
+				return kpn.Consumer(rtc.PJD{Period: 1000}, 4, tokens, func(now des.Time, tok kpn.Token) {
+					if sink != nil {
+						*sink = append(*sink, tok)
+					}
+				})
+			}},
+		},
+		Chans: []kpn.ChannelSpec{
+			{Name: "F_in", From: "P", To: "W", Capacity: 4, TokenBytes: 1},
+			{Name: "F_out", From: "W", To: "C", Capacity: 8, InitialTokens: 2, TokenBytes: 1},
+		},
+	}
+}
+
+func buildSys(t *testing.T, tokens int64, sink *[]kpn.Token) (*des.Kernel, *ft.System) {
+	t.Helper()
+	k := des.NewKernel()
+	sys, err := ft.Build(k, testNet(tokens, sink), ft.BuildConfig{
+		ReplicatorD: map[string]int64{"F_in": 3},
+		SelectorD:   map[string]int64{"F_out": 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k, sys
+}
+
+func TestManagerRecoversAndSecondFaultStaysConvicted(t *testing.T) {
+	var sink []kpn.Token
+	k, sys := buildSys(t, 300, &sink)
+	m := NewManager(sys, Plan{Delay: 20_000, MaxRecoveries: 1})
+	var recovered []Event
+	m.OnRecovered = func(ev Event) { recovered = append(recovered, ev) }
+
+	sys.InjectFault(2, 40_000, fault.StopAll, 0)
+	sys.InjectFault(2, 150_000, fault.StopAll, 0)
+	k.Run(0)
+	k.Shutdown()
+
+	if len(recovered) != 1 {
+		t.Fatalf("recoveries = %d, want exactly 1 (MaxRecoveries)", len(recovered))
+	}
+	ev := recovered[0]
+	if !ev.Complete || ev.Replica != 2 {
+		t.Errorf("event = %+v, want complete recovery of replica 2", ev)
+	}
+	if ev.RecoveredAt != ev.DetectedAt+20_000 {
+		t.Errorf("recovered at %d, want detection %d + delay 20000", ev.RecoveredAt, ev.DetectedAt)
+	}
+	// The second fault must be re-detected after recovery and, with the
+	// recovery budget spent, stay convicted.
+	second := false
+	for _, f := range sys.Faults {
+		if f.Replica == 2 && f.At >= 150_000 {
+			second = true
+		}
+		if f.Replica == 1 {
+			t.Errorf("healthy replica convicted: %v", f)
+		}
+	}
+	if !second {
+		t.Errorf("second fault not detected; faults: %v", sys.Faults)
+	}
+	if faulty, _, _ := sys.Selectors["F_out"].Faulty(2); !faulty {
+		if faulty2, _, _ := sys.Replicators["F_in"].Faulty(2); !faulty2 {
+			t.Error("replica 2 should stay convicted on some channel after the second fault")
+		}
+	}
+	if got := len(m.Events()); got != 1 {
+		t.Errorf("Events() = %d entries, want 1", got)
+	}
+	// Both inject/repair cycles are on the switch history.
+	hist := sys.Switches[1].Injections()
+	if len(hist) != 2 || !hist[0].Repaired || hist[1].Repaired {
+		t.Errorf("injection history = %+v, want repaired first cycle and latched second", hist)
+	}
+}
+
+func TestManagerCollapsesMultiChannelConvictions(t *testing.T) {
+	var sink []kpn.Token
+	k, sys := buildSys(t, 200, &sink)
+	m := NewManager(sys, Plan{Delay: 15_000})
+	sys.InjectFault(1, 30_000, fault.StopAll, 0)
+	k.Run(0)
+	k.Shutdown()
+
+	// StopAll convicts at both the replicator and the selector; only one
+	// recovery must result.
+	if got := len(m.Events()); got != 1 {
+		t.Fatalf("recoveries = %d, want 1 (multi-channel convictions collapsed)", got)
+	}
+	if err := sys.CheckInvariants(); err != nil {
+		t.Errorf("invariants violated after recovery: %v", err)
+	}
+}
+
+func TestPlanForDerivesBoundedFill(t *testing.T) {
+	producer := rtc.PJD{Period: 1000, Jitter: 200}
+	in := [2]rtc.PJD{
+		{Period: 1000, Jitter: 2000},
+		{Period: 1000, Jitter: 3000},
+	}
+	plan, err := PlanFor("F_in", producer, in, [2]int{4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fill, ok := plan.RepFill["F_in"]
+	if !ok {
+		t.Fatal("plan has no fill for F_in")
+	}
+	if fill < 0 || fill > 3 {
+		t.Errorf("re-arm fill = %d, want within [0, cap-1] = [0, 3]", fill)
+	}
+}
