@@ -7,6 +7,16 @@
 //	ftpnsim -exp table3 -runs 20 -poll 1000
 //	ftpnsim -exp bench  -out BENCH_PR1.json
 //	ftpnsim -exp campaign -n 1000 -seed 1 -out BENCH_PR2.json
+//	ftpnsim -exp obsbench -out BENCH_PR4.json
+//	ftpnsim -exp table2 -app adpcm -tracefile out.json
+//
+// -tracefile additionally records one fault + recovery run of the
+// selected application as a Chrome trace-event timeline (queue-fill
+// counter tracks, fault/conviction/re-integration markers) loadable in
+// Perfetto or chrome://tracing. The obsbench experiment prices the
+// observability hooks (disabled vs metrics-enabled channel ops);
+// -seed-sel-ns/-seed-rep-ns feed it the seed tree's ns/op for the
+// regression comparison (see scripts/bench.sh).
 //
 // The campaign experiment sweeps randomized fault scenarios (mode ×
 // replica × injection time × repair delay × jitter tier × app) through
@@ -43,11 +53,15 @@ type cliConfig struct {
 	out      string // report path, "-" = stdout, "" = per-experiment default
 	n        int    // campaign runs
 	seed     int64  // campaign PRNG seed
+
+	tracefile string // Chrome-trace output path ("" = off)
+	seedSelNs int64  // seed selector ns/op for obsbench ("0" = unknown)
+	seedRepNs int64  // seed replicator ns/op for obsbench
 }
 
 func main() {
 	var cfg cliConfig
-	flag.StringVar(&cfg.expName, "exp", "table2", "experiment: table1, table2, table3, report, fills, bench or campaign")
+	flag.StringVar(&cfg.expName, "exp", "table2", "experiment: table1, table2, table3, report, fills, bench, campaign or obsbench")
 	flag.StringVar(&cfg.appName, "app", "all", "application: mjpeg, adpcm, h264 or all")
 	flag.IntVar(&cfg.runs, "runs", 20, "fault-injection runs per configuration")
 	flag.Int64Var(&cfg.pollUs, "poll", 1000, "distance-function poll period in µs (table3)")
@@ -56,6 +70,9 @@ func main() {
 	flag.StringVar(&cfg.out, "out", "", "report output path (- for stdout; default BENCH_PR1.json for bench, BENCH_PR2.json for campaign)")
 	flag.IntVar(&cfg.n, "n", 1000, "randomized scenarios in a campaign")
 	flag.Int64Var(&cfg.seed, "seed", 1, "campaign PRNG seed")
+	flag.StringVar(&cfg.tracefile, "tracefile", "", "also write a Chrome-trace timeline of one fault+recovery run of the selected app")
+	flag.Int64Var(&cfg.seedSelNs, "seed-sel-ns", 0, "seed selector ns/op baseline for obsbench (0 = skip seed comparison)")
+	flag.Int64Var(&cfg.seedRepNs, "seed-rep-ns", 0, "seed replicator ns/op baseline for obsbench (0 = skip seed comparison)")
 	flag.Parse()
 	if err := run(cfg); err != nil {
 		fmt.Fprintf(os.Stderr, "ftpnsim: %v\n", err)
@@ -64,6 +81,41 @@ func main() {
 }
 
 func run(cfg cliConfig) error {
+	if err := runExperiment(cfg); err != nil {
+		return err
+	}
+	return writeTrace(cfg)
+}
+
+// writeTrace records the -tracefile timeline, if requested.
+func writeTrace(cfg cliConfig) error {
+	if cfg.tracefile == "" {
+		return nil
+	}
+	name := cfg.appName
+	if name == "all" || name == "" {
+		name = "adpcm"
+	}
+	app, err := exp.AppByName(name, false, cfg.tokens)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(cfg.tracefile)
+	if err != nil {
+		return err
+	}
+	if err := exp.WriteChromeTrace(app, f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "chrome trace of one %s fault+recovery run written to %s\n", name, cfg.tracefile)
+	return nil
+}
+
+func runExperiment(cfg cliConfig) error {
 	var opts []exp.Option
 	if cfg.parallel > 0 {
 		opts = append(opts, exp.WithParallelism(cfg.parallel))
@@ -137,6 +189,27 @@ func run(cfg cliConfig) error {
 			fmt.Fprintf(os.Stderr, "bench report written to %s\n", out)
 		}
 		return nil
+	case "obsbench":
+		out := cfg.out
+		if out == "" {
+			out = "BENCH_PR4.json"
+		}
+		var w io.Writer = os.Stdout
+		if out != "-" {
+			f, err := os.Create(out)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := exp.RunObsBenchSuite(w, os.Stderr, cfg.seedSelNs, cfg.seedRepNs); err != nil {
+			return err
+		}
+		if out != "-" {
+			fmt.Fprintf(os.Stderr, "observability bench report written to %s\n", out)
+		}
+		return nil
 	case "campaign":
 		res, err := exp.Campaign(exp.CampaignConfig{Runs: cfg.n, Seed: cfg.seed}, opts...)
 		if err != nil {
@@ -168,6 +241,6 @@ func run(cfg cliConfig) error {
 		}
 		return nil
 	default:
-		return fmt.Errorf("unknown experiment %q (want table1, table2, table3, report, fills, bench or campaign)", cfg.expName)
+		return fmt.Errorf("unknown experiment %q (want table1, table2, table3, report, fills, bench, campaign or obsbench)", cfg.expName)
 	}
 }

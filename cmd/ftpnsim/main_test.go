@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 // cli builds a config with test defaults (sequential unless stated).
 func cli(expName, appName string, runs int, pollUs, tokens int64) cliConfig {
@@ -52,6 +57,27 @@ func TestRunFills(t *testing.T) {
 	// "all" falls back to the ADPCM profile.
 	if err := run(cli("fills", "all", 1, 1000, 60)); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunTracefile(t *testing.T) {
+	cfg := cli("table1", "adpcm", 1, 1000, 100)
+	cfg.tracefile = filepath.Join(t.TempDir(), "out.json")
+	if err := run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(cfg.tracefile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("tracefile is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Error("tracefile has no events")
 	}
 }
 

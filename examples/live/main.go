@@ -13,6 +13,9 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"sync"
 	"sync/atomic"
@@ -20,6 +23,7 @@ import (
 
 	"ftpn/internal/codec/adpcm"
 	"ftpn/internal/crt"
+	"ftpn/internal/obs"
 )
 
 type config struct {
@@ -27,6 +31,11 @@ type config struct {
 	period   time.Duration
 	duration time.Duration // hard wall-clock cap (0 = uncapped)
 	recover  bool
+	httpAddr string // observability endpoint ("" = off)
+
+	// onHTTP, when non-nil, receives the endpoint's bound address once
+	// it is listening (tests pass ":0" and dial back).
+	onHTTP func(addr string)
 }
 
 func main() {
@@ -35,6 +44,7 @@ func main() {
 	flag.DurationVar(&cfg.period, "period", 5*time.Millisecond, "producer period")
 	flag.DurationVar(&cfg.duration, "duration", 30*time.Second, "hard wall-clock cap on the demo (0 = uncapped)")
 	flag.BoolVar(&cfg.recover, "recover", true, "repair, re-integrate and respawn the dead replica")
+	flag.StringVar(&cfg.httpAddr, "http", "", "serve /metrics, /healthz and /debug/pprof on this address (e.g. :8080; empty = off)")
 	flag.Parse()
 	if err := run(cfg, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "live:", err)
@@ -78,6 +88,75 @@ func pipeline(rep *crt.Replicator, sel *crt.Selector, r int, gen *atomic.Int64, 
 	}
 }
 
+// probeKinds are the crt channel event kinds (crt.ProbeEvent.Kind).
+var probeKinds = []string{
+	"write", "enqueue", "read", "drop-duplicate", "drop-lost",
+	"drop-resync", "reintegrate", "aligned",
+}
+
+// channelProbe builds a metrics probe for one crt channel: a pre-bound
+// event counter per (kind, replica) and a fill gauge per replica. crt
+// probes run with the channel lock held, so every series is resolved up
+// front and the probe itself is two lookups and two atomic updates.
+func channelProbe(reg *obs.Registry, channel string) crt.Probe {
+	events := make(map[string]*[3]*obs.Counter, len(probeKinds))
+	var fill [3]*obs.Gauge
+	for r := 0; r <= 2; r++ {
+		l := obs.Labels{"channel": channel, "replica": fmt.Sprintf("%d", r)}
+		for _, k := range probeKinds {
+			kl := obs.Labels{"channel": channel, "replica": l["replica"], "kind": k}
+			c := reg.Counter("ftpn_crt_channel_events_total",
+				"Channel events by kind; replica 0 = channel-wide.", kl)
+			if events[k] == nil {
+				events[k] = &[3]*obs.Counter{}
+			}
+			events[k][r] = c
+		}
+		fill[r] = reg.Gauge("ftpn_crt_channel_fill",
+			"Queue fill after the last event; replica 0 = channel-wide.", l)
+	}
+	return func(e crt.ProbeEvent) {
+		if cs := events[e.Kind]; cs != nil && e.Replica >= 0 && e.Replica <= 2 {
+			cs[e.Replica].Inc()
+			fill[e.Replica].Set(int64(e.Fill))
+		}
+	}
+}
+
+// serveObs starts the observability endpoint: Prometheus text on
+// /metrics, liveness on /healthz (200 healthy, 503 degraded/recovering)
+// and the standard pprof handlers under /debug/pprof/. It returns the
+// server and its bound address.
+func serveObs(addr string, reg *obs.Registry, health func() string) (*http.Server, string, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := reg.WritePrometheus(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		st := health()
+		w.Header().Set("Content-Type", "application/json")
+		if st != "healthy" {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		fmt.Fprintf(w, "{\"status\":%q}\n", st)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", err
+	}
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	return srv, ln.Addr().String(), nil
+}
+
 // lockedWriter serializes demo output: fault handlers, the consumer and
 // the recovery supervisor all print from their own goroutines.
 type lockedWriter struct {
@@ -113,6 +192,37 @@ func run(cfg config, sink io.Writer) error {
 
 	rep := crt.NewReplicator(clock, "R", [2]int{4, 4}, onFault)
 	sel := crt.NewSelector(clock, "S", [2]int{8, 8}, [2]int{3, 3}, 4, onFault)
+
+	// Observability endpoint: probes install before the channels are
+	// shared, the server stays up for the demo's lifetime.
+	if cfg.httpAddr != "" {
+		reg := obs.NewRegistry()
+		rep.SetProbe(channelProbe(reg, "R"))
+		sel.SetProbe(channelProbe(reg, "S"))
+		health := func() string {
+			for r := 1; r <= 2; r++ {
+				if f, _ := rep.Faulty(r); f {
+					return "degraded"
+				}
+				if f, _, _ := sel.Faulty(r); f {
+					return "degraded"
+				}
+			}
+			if sel.Resyncing(1) || sel.Resyncing(2) {
+				return "recovering"
+			}
+			return "healthy"
+		}
+		srv, addr, err := serveObs(cfg.httpAddr, reg, health)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(out, "observability on http://%s (/metrics, /healthz, /debug/pprof/)\n", addr)
+		if cfg.onHTTP != nil {
+			cfg.onHTTP(addr)
+		}
+	}
 
 	var gen1 atomic.Int64
 	spawn := func(r int) {

@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"io"
+	"net/http"
 	"strings"
 	"testing"
 	"time"
@@ -35,6 +37,80 @@ func TestLiveDemoWithoutRecovery(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "no false positives") {
 		t.Errorf("missing success line; output:\n%s", out.String())
+	}
+}
+
+// TestLiveDemoHTTPEndpoint runs the demo with the observability
+// endpoint enabled and watches /healthz flip healthy -> degraded (or
+// recovering) -> healthy across the fault + recovery arc, while
+// /metrics serves the Prometheus exposition and pprof answers.
+func TestLiveDemoHTTPEndpoint(t *testing.T) {
+	var out bytes.Buffer
+	addrCh := make(chan string, 1)
+	cfg := config{
+		tokens: 300, period: 2 * time.Millisecond, duration: 60 * time.Second,
+		recover: true, httpAddr: "127.0.0.1:0",
+		onHTTP: func(a string) { addrCh <- a },
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- run(cfg, &out) }()
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case <-time.After(10 * time.Second):
+		t.Fatal("endpoint never came up")
+	}
+	get := func(path string) (int, string) {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			return 0, err.Error()
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	// The run starts healthy, degrades at the injected fault, and must
+	// report healthy again once the replica is re-integrated.
+	deadline := time.Now().Add(30 * time.Second)
+	unhealthy := ""
+	for time.Now().Before(deadline) {
+		if st, body := get("/healthz"); st == http.StatusServiceUnavailable {
+			unhealthy = body
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if unhealthy == "" {
+		t.Fatal("/healthz never reported the fault")
+	}
+	if !strings.Contains(unhealthy, "degraded") && !strings.Contains(unhealthy, "recovering") {
+		t.Errorf("unhealthy body = %q, want degraded or recovering", unhealthy)
+	}
+
+	// While the demo still streams: metrics and pprof must serve.
+	if st, body := get("/metrics"); st != http.StatusOK ||
+		!strings.Contains(body, "ftpn_crt_channel_events_total") ||
+		!strings.Contains(body, "# TYPE ftpn_crt_channel_fill gauge") {
+		t.Errorf("/metrics status %d, body:\n%.400s", st, body)
+	}
+	if st, _ := get("/debug/pprof/cmdline"); st != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline status %d", st)
+	}
+
+	healthy := false
+	for time.Now().Before(deadline) {
+		if st, _ := get("/healthz"); st == http.StatusOK {
+			healthy = true
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if !healthy {
+		t.Error("/healthz never returned to healthy after recovery")
+	}
+	if err := <-errCh; err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
 	}
 }
 

@@ -38,6 +38,7 @@ type Replicator struct {
 	closed   bool
 	handler  FaultHandler
 	lost     int64
+	probe    Probe
 }
 
 // NewReplicator builds a concurrent replicator.
@@ -75,9 +76,18 @@ func (r *Replicator) Write(tok Token) bool {
 		r.queues[i] = append(r.queues[i], tok)
 		r.notEmpty[i].Signal()
 		delivered = true
+		if fn := r.probe; fn != nil {
+			fn(ProbeEvent{At: r.clock.Now(), Channel: r.name, Kind: "enqueue", Replica: i + 1, Fill: len(r.queues[i])})
+		}
 	}
 	if !delivered {
 		r.lost++
+	}
+	if fn := r.probe; fn != nil {
+		fn(ProbeEvent{At: r.clock.Now(), Channel: r.name, Kind: "write"})
+		if !delivered {
+			fn(ProbeEvent{At: r.clock.Now(), Channel: r.name, Kind: "drop-lost"})
+		}
 	}
 	r.mu.Unlock()
 	for _, f := range fire {
@@ -103,6 +113,9 @@ func (r *Replicator) Read(replica int) (Token, bool) {
 	tok := r.queues[i][0]
 	copy(r.queues[i], r.queues[i][1:])
 	r.queues[i] = r.queues[i][:len(r.queues[i])-1]
+	if fn := r.probe; fn != nil {
+		fn(ProbeEvent{At: r.clock.Now(), Channel: r.name, Kind: "read", Replica: replica, Fill: len(r.queues[i])})
+	}
 	return tok, true
 }
 
@@ -133,6 +146,9 @@ func (r *Replicator) Reintegrate(replica, fill int) bool {
 	}
 	r.queues[i] = append(r.queues[i][:0], src[len(src)-fill:]...)
 	r.faulty[i] = false
+	if fn := r.probe; fn != nil {
+		fn(ProbeEvent{At: r.clock.Now(), Channel: r.name, Kind: "reintegrate", Replica: replica, Fill: fill})
+	}
 	r.mu.Unlock()
 	r.notEmpty[i].Broadcast()
 	return true
@@ -207,6 +223,8 @@ type Selector struct {
 	adjust      [2]int64
 	selGrace    [2]int64
 	resyncWait  *sync.Cond
+
+	probe Probe
 }
 
 // NewSelector builds a concurrent selector with capacities, initial
@@ -270,6 +288,9 @@ func (s *Selector) Reintegrate(replica int) bool {
 		return false
 	}
 	s.resync[i] = true
+	if fn := s.probe; fn != nil {
+		fn(ProbeEvent{At: s.clock.Now(), Channel: s.name, Kind: "reintegrate", Replica: replica, Fill: len(s.fifo)})
+	}
 	// A writer parked on the space counter must re-route through the
 	// resync path; one parked mid-resync re-evaluates the new state.
 	s.notFull[i].Broadcast()
@@ -298,6 +319,9 @@ func (s *Selector) align(i, h int, back int64) {
 	s.selGrace[i] = int64(s.caps[i]) + s.divThres
 	s.faulty[i] = false
 	s.reasons[i] = ""
+	if fn := s.probe; fn != nil {
+		fn(ProbeEvent{At: s.clock.Now(), Channel: s.name, Kind: "aligned", Replica: i + 1, Fill: len(s.fifo)})
+	}
 }
 
 // Write submits replica's (1-based) next token, blocking on the
@@ -319,6 +343,9 @@ func (s *Selector) Write(replica int, tok Token) bool {
 				// Stale pipeline remnant from before the outage: discard
 				// without counting.
 				s.resyncDrops[i]++
+				if fn := s.probe; fn != nil {
+					fn(ProbeEvent{At: s.clock.Now(), Channel: s.name, Kind: "drop-resync", Replica: replica, Fill: len(s.fifo)})
+				}
 				s.mu.Unlock()
 				return true
 			case tok.Seq == last:
@@ -345,8 +372,14 @@ func (s *Selector) Write(replica int, tok Token) bool {
 			s.maxFill = len(s.fifo)
 		}
 		s.notEmpty.Signal()
+		if fn := s.probe; fn != nil {
+			fn(ProbeEvent{At: s.clock.Now(), Channel: s.name, Kind: "enqueue", Replica: replica, Fill: len(s.fifo)})
+		}
 	} else {
 		s.drops[i]++
+		if fn := s.probe; fn != nil {
+			fn(ProbeEvent{At: s.clock.Now(), Channel: s.name, Kind: "drop-duplicate", Replica: replica, Fill: len(s.fifo)})
+		}
 	}
 	s.wcnt[i]++
 	s.space[i]--
@@ -389,6 +422,9 @@ func (s *Selector) Read() (Token, bool) {
 	copy(s.fifo, s.fifo[1:])
 	s.fifo = s.fifo[:len(s.fifo)-1]
 	s.reads++
+	if fn := s.probe; fn != nil {
+		fn(ProbeEvent{At: s.clock.Now(), Channel: s.name, Kind: "read", Fill: len(s.fifo)})
+	}
 	for i := 0; i < 2; i++ {
 		s.space[i]++
 		// An interface mid-resync is exempt until it re-aligns.

@@ -66,10 +66,18 @@ type Kernel struct {
 	tracer func(TraceEvent)
 }
 
-// TraceEvent describes one scheduler action, for debugging simulations.
+// TraceEvent describes one scheduler action, for debugging simulations
+// and timeline export (internal/obs). Kinds:
+//
+//	"spawn"    — process created
+//	"resume"   — process handed the processor
+//	"block"    — process parked on a Signal
+//	"end"      — process body returned
+//	"callback" — kernel-context callback ran
+//	"stop"     — Stop was called
 type TraceEvent struct {
 	At   Time
-	Kind string // "resume", "callback", "spawn", "stop"
+	Kind string
 	Proc string // process name, empty for kernel callbacks
 }
 
@@ -197,6 +205,9 @@ func (k *Kernel) resume(p *Proc) {
 	p.resume <- struct{}{}
 	<-p.yielded
 	k.running = nil
+	if p.state == stateDone {
+		k.emit("end", p.name)
+	}
 }
 
 // Blocked returns the names of processes that are blocked on a Signal,

@@ -306,7 +306,7 @@ func TestTraceRecordsSchedulerActions(t *testing.T) {
 		kinds = append(kinds, e.Kind)
 	}
 	got := strings.Join(kinds, ",")
-	want := "spawn,resume,callback,resume"
+	want := "spawn,resume,callback,resume,end"
 	if got != want {
 		t.Errorf("trace = %s, want %s", got, want)
 	}

@@ -109,6 +109,7 @@ type Signal struct {
 // the guarded condition in a loop, as with sync.Cond.
 func (p *Proc) Wait(s *Signal) {
 	s.waiters = append(s.waiters, p)
+	p.k.emit("block", p.name)
 	p.yield(stateBlocked)
 }
 

@@ -97,6 +97,8 @@ type NReplicator struct {
 	// DReads enables read-divergence detection: a replica lagging the
 	// front-runner by DReads consumed tokens is faulty. 0 disables.
 	DReads int64
+
+	probe Probe
 }
 
 // NewNReplicator builds an m-way replicator (m = len(caps) >= 2).
@@ -175,6 +177,9 @@ func (r *NReplicator) Reintegrate(replica int, fill int, graceReads int64) bool 
 	r.graceReads[i] = graceReads
 	r.slide[i] = true
 	r.reinstate(i)
+	if fn := r.probe; fn != nil {
+		fn(ProbeEvent{At: r.k.Now(), Channel: r.name, Kind: ProbeReintegrate, Replica: replica, Fill: fill})
+	}
 	if fill > 0 {
 		r.k.Broadcast(&r.notEmpty[i])
 	}
@@ -197,15 +202,27 @@ func (r *NReplicator) write(p *des.Proc, tok kpn.Token) {
 			r.queues[i] = r.queues[i][:len(r.queues[i])-1]
 			r.purged[i]++
 			r.readBase[i]--
+			if fn := r.probe; fn != nil {
+				fn(ProbeEvent{At: r.k.Now(), Channel: r.name, Kind: ProbeDropSlide, Replica: i + 1, Fill: len(r.queues[i])})
+			}
 		}
 		r.queues[i] = append(r.queues[i], tok)
 		r.appended[i]++
 		r.k.Broadcast(&r.notEmpty[i])
 		delivered = true
+		if fn := r.probe; fn != nil {
+			fn(ProbeEvent{At: r.k.Now(), Channel: r.name, Kind: ProbeEnqueue, Replica: i + 1, Fill: len(r.queues[i])})
+		}
 	}
 	r.writes++
 	if !delivered {
 		r.lost++
+	}
+	if fn := r.probe; fn != nil {
+		fn(ProbeEvent{At: r.k.Now(), Channel: r.name, Kind: ProbeWrite})
+		if !delivered {
+			fn(ProbeEvent{At: r.k.Now(), Channel: r.name, Kind: ProbeDropLost})
+		}
 	}
 }
 
@@ -220,6 +237,9 @@ func (r *NReplicator) read(p *des.Proc, i int) kpn.Token {
 	r.slide[i] = false
 	if r.graceReads[i] > 0 {
 		r.graceReads[i]--
+	}
+	if fn := r.probe; fn != nil {
+		fn(ProbeEvent{At: r.k.Now(), Channel: r.name, Kind: ProbeRead, Replica: i + 1, Fill: len(r.queues[i])})
 	}
 	if r.DReads > 0 && r.graceReads[i] == 0 {
 		for j := range r.reads {
@@ -305,6 +325,8 @@ type NSelector struct {
 	// D is the divergence threshold (eq. 5 computed pairwise over all
 	// replica output envelopes); 0 disables divergence detection.
 	D int64
+
+	probe Probe
 }
 
 // NewNSelector builds an m-way selector (m = len(caps) = len(inits)).
@@ -422,6 +444,9 @@ func (s *NSelector) Reintegrate(replica int) bool {
 		return false
 	}
 	s.resync[i] = true
+	if fn := s.probe; fn != nil {
+		fn(ProbeEvent{At: s.k.Now(), Channel: s.name, Kind: ProbeReintegrate, Replica: replica, Fill: s.Fill()})
+	}
 	s.k.Broadcast(&s.notFull[i])
 	s.k.Broadcast(&s.resyncWait)
 	return true
@@ -444,6 +469,9 @@ func (s *NSelector) align(i, h int, back int64) {
 	s.resync[i] = false
 	s.selGrace[i] = int64(s.caps[i]) + s.D
 	s.reinstate(i)
+	if fn := s.probe; fn != nil {
+		fn(ProbeEvent{At: s.k.Now(), Channel: s.name, Kind: ProbeAligned, Replica: i + 1, Fill: s.Fill()})
+	}
 }
 
 func (s *NSelector) write(p *des.Proc, i int, tok kpn.Token) {
@@ -459,6 +487,9 @@ func (s *NSelector) write(p *des.Proc, i int, tok kpn.Token) {
 			switch last := s.lastSeqW[h]; {
 			case tok.Seq <= 0 || tok.Seq < last:
 				s.resyncDrops[i]++
+				if fn := s.probe; fn != nil {
+					fn(ProbeEvent{At: s.k.Now(), Channel: s.name, Kind: ProbeDropResync, Replica: i + 1, Fill: s.Fill()})
+				}
 				return
 			case tok.Seq == last:
 				s.align(i, h, 1)
@@ -490,6 +521,13 @@ func (s *NSelector) write(p *des.Proc, i int, tok kpn.Token) {
 		s.k.Broadcast(&s.notEmpty)
 	} else {
 		s.drops[i]++
+	}
+	if fn := s.probe; fn != nil {
+		kind := ProbeDropDuplicate
+		if first {
+			kind = ProbeEnqueue
+		}
+		fn(ProbeEvent{At: s.k.Now(), Channel: s.name, Kind: kind, Replica: i + 1, Fill: s.Fill()})
 	}
 	s.wcnt[i]++
 	s.space[i]--
@@ -524,6 +562,9 @@ func (s *NSelector) read(p *des.Proc) kpn.Token {
 		s.head = 0
 	}
 	s.reads++
+	if fn := s.probe; fn != nil {
+		fn(ProbeEvent{At: s.k.Now(), Channel: s.name, Kind: ProbeRead, Fill: s.Fill()})
+	}
 	for i := range s.space {
 		s.space[i]++
 		if !s.faulty[i] && !s.resync[i] && s.space[i] > int64(s.caps[i]) {

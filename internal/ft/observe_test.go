@@ -1,0 +1,194 @@
+package ft
+
+import (
+	"fmt"
+	"testing"
+
+	"ftpn/internal/des"
+	"ftpn/internal/fault"
+	"ftpn/internal/kpn"
+	"ftpn/internal/obs"
+)
+
+// buildObserved builds the shared pipeline test network with a stop
+// fault on replica 2, instrumented by the given hooks, and runs it.
+func buildObserved(t *testing.T, instrument func(*System)) *System {
+	t.Helper()
+	k := des.NewKernel()
+	sys, err := Build(k, pipelineNet(40, nil), BuildConfig{
+		SelectorCaps:  map[string][2]int{"FC": {8, 8}},
+		SelectorInits: map[string][2]int{"FC": {2, 2}},
+		SelectorD:     map[string]int64{"FC": 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	instrument(sys)
+	sys.InjectFault(2, 3000, fault.StopAll, 0)
+	k.Run(0)
+	k.Shutdown()
+	return sys
+}
+
+// driveChannels pushes n tokens through a bare replicator and selector,
+// reading everything back. Returns the channels for counter assertions.
+func driveChannels(k *des.Kernel, probeRep, probeSel Probe, n int64) (*Replicator, *Selector) {
+	r := NewReplicator(k, "R", [2]int{8, 8}, nil)
+	s := NewSelector(k, "S", [2]int{8, 8}, [2]int{0, 0}, 4, nil, nil)
+	r.SetProbe(probeRep)
+	s.SetProbe(probeSel)
+	k.Spawn("d", 0, func(p *des.Proc) {
+		for i := int64(1); i <= n; i++ {
+			r.WriterPort().Write(p, kpn.Token{Seq: i})
+			t1 := r.ReaderPort(1).Read(p)
+			t2 := r.ReaderPort(2).Read(p)
+			s.WriterPort(1).Write(p, t1)
+			s.WriterPort(2).Write(p, t2)
+			s.ReaderPort().Read(p)
+		}
+	})
+	k.Run(0)
+	return r, s
+}
+
+// TestProbeEventsMatchCounters drives both channel types and checks the
+// probe event stream is exactly consistent with the channels' own
+// counters: enqueues = writes per replica, reads match, and the
+// selector's duplicate drops equal one per pair.
+func TestProbeEventsMatchCounters(t *testing.T) {
+	counts := map[string]map[ProbeKind]int64{"R": {}, "S": {}}
+	probe := func(e ProbeEvent) { counts[e.Channel][e.Kind]++ }
+	r, s := driveChannels(des.NewKernel(), probe, probe, 50)
+
+	rc, sc := counts["R"], counts["S"]
+	if rc[ProbeWrite] != r.Writes() {
+		t.Errorf("rep write events = %d, Writes() = %d", rc[ProbeWrite], r.Writes())
+	}
+	if want := r.Reads(1) + r.Reads(2); rc[ProbeRead] != want {
+		t.Errorf("rep read events = %d, Reads sum = %d", rc[ProbeRead], want)
+	}
+	if want := 2 * r.Writes(); rc[ProbeEnqueue] != want {
+		t.Errorf("rep enqueue events = %d, want %d (both replicas healthy)", rc[ProbeEnqueue], want)
+	}
+	// Selector: each pair's first write enqueues, the second drops.
+	if want := s.Writes(1) + s.Writes(2); sc[ProbeEnqueue]+sc[ProbeDropDuplicate] != want {
+		t.Errorf("sel enqueue+dup events = %d, Writes sum = %d",
+			sc[ProbeEnqueue]+sc[ProbeDropDuplicate], want)
+	}
+	if want := s.Drops(1) + s.Drops(2); sc[ProbeDropDuplicate] != want {
+		t.Errorf("sel dup events = %d, Drops sum = %d", sc[ProbeDropDuplicate], want)
+	}
+	if sc[ProbeRead] != s.Reads() {
+		t.Errorf("sel read events = %d, Reads() = %d", sc[ProbeRead], s.Reads())
+	}
+}
+
+// TestInstrumentMetricsMatchEngine builds a duplicated system through
+// Build, injects a stop fault, and asserts the registry's series agree
+// with the engine's own counters — the metric layer must never invent
+// or lose an event.
+func TestInstrumentMetricsMatchEngine(t *testing.T) {
+	reg := obs.NewRegistry()
+	sys := buildObserved(t, func(sys *System) { Instrument(sys, reg) })
+
+	get := func(name string, l obs.Labels) int64 { return reg.Counter(name, "", l).Value() }
+	for name, r := range sys.Replicators {
+		if got := get("ftpn_ft_rep_writes_total", obs.Labels{"channel": name}); got != r.Writes() {
+			t.Errorf("%s writes metric = %d, engine = %d", name, got, r.Writes())
+		}
+		for i := 1; i <= 2; i++ {
+			if got := get("ftpn_ft_rep_reads_total", replicaLabels(name, i)); got != r.Reads(i) {
+				t.Errorf("%s reads[%d] metric = %d, engine = %d", name, i, got, r.Reads(i))
+			}
+		}
+	}
+	for name, s := range sys.Selectors {
+		if got := get("ftpn_ft_sel_reads_total", obs.Labels{"channel": name}); got != s.Reads() {
+			t.Errorf("%s sel reads metric = %d, engine = %d", name, got, s.Reads())
+		}
+		for i := 1; i <= 2; i++ {
+			enq := get("ftpn_ft_sel_enqueued_total", replicaLabels(name, i))
+			dup := get("ftpn_ft_sel_dup_drops_total", replicaLabels(name, i))
+			if enq+dup != s.Writes(i) {
+				t.Errorf("%s interface %d: enqueued %d + dup %d != writes %d", name, i, enq, dup, s.Writes(i))
+			}
+			if dup != s.Drops(i) {
+				t.Errorf("%s interface %d: dup metric = %d, engine = %d", name, i, dup, s.Drops(i))
+			}
+		}
+	}
+	// Every detection event is counted, attributed by reason.
+	byLabel := int64(0)
+	for _, l := range dedupeFaultLabels(sys.Faults) {
+		byLabel += get("ftpn_ft_faults_total", l)
+	}
+	if byLabel != int64(len(sys.Faults)) {
+		t.Errorf("faults metric sum = %d, engine recorded %d", byLabel, len(sys.Faults))
+	}
+	if len(sys.Faults) == 0 {
+		t.Error("expected at least one detection from the injected stop fault")
+	}
+}
+
+// dedupeFaultLabels returns the distinct label sets of the fault series.
+func dedupeFaultLabels(faults []Fault) []obs.Labels {
+	seen := map[string]obs.Labels{}
+	for _, f := range faults {
+		key := fmt.Sprintf("%s/%d/%s", f.Channel, f.Replica, f.Reason)
+		if _, ok := seen[key]; !ok {
+			seen[key] = obs.Labels{"channel": f.Channel, "replica": fmt.Sprintf("%d", f.Replica), "reason": string(f.Reason)}
+		}
+	}
+	out := make([]obs.Labels, 0, len(seen))
+	for _, l := range seen {
+		out = append(out, l)
+	}
+	return out
+}
+
+// TestInstrumentTraceRecordsTimeline checks InstrumentTrace produces
+// fill-track counter samples and a fault marker.
+func TestInstrumentTraceRecordsTimeline(t *testing.T) {
+	rec := obs.NewTraceRecorder()
+	sys := buildObserved(t, func(sys *System) { InstrumentTrace(sys, rec) })
+	if rec.Events() == 0 {
+		t.Fatal("trace recorder saw no events")
+	}
+	if len(sys.Faults) == 0 {
+		t.Fatal("expected a detection")
+	}
+}
+
+// BenchmarkSelectorHotPath measures the selector write+read loop with
+// probes disabled (the seed-equivalent path plus one nil branch) and
+// with full metric instrumentation, backing DESIGN.md §9's overhead
+// methodology.
+func BenchmarkSelectorHotPath(b *testing.B) {
+	for _, mode := range []string{"disabled", "metrics"} {
+		b.Run(mode, func(b *testing.B) {
+			k := des.NewKernel()
+			s := NewSelector(k, "S", [2]int{64, 64}, [2]int{0, 0}, 32, nil, nil)
+			if mode == "metrics" {
+				reg := obs.NewRegistry()
+				c := reg.Counter("bench_total", "h", nil)
+				g := reg.Gauge("bench_fill", "h", nil)
+				s.SetProbe(func(e ProbeEvent) {
+					c.Inc()
+					g.Set(int64(e.Fill))
+				})
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			k.Spawn("d", 0, func(p *des.Proc) {
+				for i := 0; i < b.N; i++ {
+					tok := kpn.Token{Seq: int64(i + 1)}
+					s.WriterPort(1).Write(p, tok)
+					s.WriterPort(2).Write(p, tok)
+					s.ReaderPort().Read(p)
+				}
+			})
+			k.Run(0)
+			k.Shutdown()
+		})
+	}
+}

@@ -1,0 +1,97 @@
+package ft
+
+import "ftpn/internal/des"
+
+// ProbeKind discriminates the channel-level events a probe can observe.
+type ProbeKind uint8
+
+const (
+	// ProbeWrite: the producer-side write interface accepted one token
+	// (replicator only; fired once per write, before per-replica
+	// delivery). Replica is 0.
+	ProbeWrite ProbeKind = iota
+	// ProbeEnqueue: a token entered replica Replica's queue (replicator)
+	// or the shared FIFO via interface Replica (selector). Fill is the
+	// queue fill after the enqueue; for selectors Lead is the writer's
+	// pair-index lead over the other interface after the write.
+	ProbeEnqueue
+	// ProbeRead: a token was consumed. Replica identifies the reading
+	// replica for replicators and is 0 for the selector's single
+	// consumer. Fill is the fill after the read.
+	ProbeRead
+	// ProbeDropDuplicate: a selector interface's token was the late
+	// duplicate of an already-queued pair and was discarded (counted).
+	ProbeDropDuplicate
+	// ProbeDropLost: a replicator write found every replica faulty and
+	// the token was lost.
+	ProbeDropLost
+	// ProbeDropSlide: a re-integrated replicator queue re-armed itself on
+	// overflow, discarding its oldest token instead of convicting.
+	ProbeDropSlide
+	// ProbeDropResync: a selector interface in resynchronization
+	// discarded a stale pipeline token (uncounted).
+	ProbeDropResync
+	// ProbeReintegrate: a repaired replica was re-admitted (replicator:
+	// queue re-armed with Fill tokens; selector: resynchronization
+	// entered).
+	ProbeReintegrate
+	// ProbeAligned: a resynchronizing selector interface found its
+	// alignment point and is fully re-integrated.
+	ProbeAligned
+)
+
+// String names the kind for logs and trace markers.
+func (k ProbeKind) String() string {
+	switch k {
+	case ProbeWrite:
+		return "write"
+	case ProbeEnqueue:
+		return "enqueue"
+	case ProbeRead:
+		return "read"
+	case ProbeDropDuplicate:
+		return "drop-duplicate"
+	case ProbeDropLost:
+		return "drop-lost"
+	case ProbeDropSlide:
+		return "drop-slide"
+	case ProbeDropResync:
+		return "drop-resync"
+	case ProbeReintegrate:
+		return "reintegrate"
+	case ProbeAligned:
+		return "aligned"
+	default:
+		return "unknown"
+	}
+}
+
+// ProbeEvent is one channel-level event delivered to a probe. Events
+// carry plain values only — a probe must not call back into the channel.
+type ProbeEvent struct {
+	At      des.Time
+	Channel string
+	Kind    ProbeKind
+	Replica int   // 1-based replica/interface; 0 = channel-wide
+	Fill    int   // queue fill after the event (where meaningful)
+	Lead    int64 // selector writes: pair-index lead over the other side
+}
+
+// Probe observes channel events. Probes run synchronously inside the
+// channel operation on the simulation's hot path: they must be cheap,
+// must not block, and must not touch the channel that fired them. A nil
+// probe costs one predicted branch per event site (see internal/obs for
+// the same contract on metric updates).
+type Probe func(ProbeEvent)
+
+// SetProbe installs the channel's probe (nil disables).
+func (r *Replicator) SetProbe(p Probe) { r.probe = p }
+
+// SetProbe installs the channel's probe (nil disables).
+func (s *Selector) SetProbe(p Probe) { s.probe = p }
+
+// SetProbe installs the channel's probe (nil disables).
+func (r *NReplicator) SetProbe(p Probe) { r.probe = p }
+
+// SetProbe installs the channel's probe (nil disables).
+func (s *NSelector) SetProbe(p Probe) { s.probe = p }

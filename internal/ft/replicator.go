@@ -65,6 +65,7 @@ type Replicator struct {
 	DReads int64
 
 	onRead [2]func(now des.Time)
+	probe  Probe
 }
 
 // SetReadHook registers a callback fired after each read by replica
@@ -114,6 +115,14 @@ func (r *Replicator) Lost() int64             { return r.lost }
 // (re-)integration base.
 func (r *Replicator) effReads(i int) int64 { return r.reads[i] - r.readBase[i] }
 
+// Divergence returns how many consumed tokens the other replica leads
+// replica (1-based) by — the read-divergence quantity compared against
+// DReads. Negative when the replica itself is ahead.
+func (r *Replicator) Divergence(replica int) int64 {
+	i := replica - 1
+	return r.effReads(1-i) - r.effReads(i)
+}
+
 // Reintegrate re-arms replica's (1-based) queue after its fault has been
 // repaired: the stale backlog is purged and replaced by a copy of the
 // newest fill tokens of the healthy replica's queue (trimmed to the
@@ -156,6 +165,9 @@ func (r *Replicator) Reintegrate(replica int, fill int, graceReads int64) bool {
 	r.graceReads[i] = graceReads
 	r.slide[i] = true
 	r.reinstate(i)
+	if fn := r.probe; fn != nil {
+		fn(ProbeEvent{At: r.k.Now(), Channel: r.name, Kind: ProbeReintegrate, Replica: replica, Fill: fill})
+	}
 	if fill > 0 {
 		r.k.Broadcast(&r.notEmpty[i])
 	}
@@ -177,6 +189,12 @@ func (r *Replicator) write(p *des.Proc, tok kpn.Token) {
 				r.maxFill[i] = n
 			}
 			r.k.Broadcast(&r.notEmpty[i])
+		}
+		if fn := r.probe; fn != nil {
+			now := r.k.Now()
+			fn(ProbeEvent{At: now, Channel: r.name, Kind: ProbeWrite})
+			fn(ProbeEvent{At: now, Channel: r.name, Kind: ProbeEnqueue, Replica: 1, Fill: len(r.queues[0])})
+			fn(ProbeEvent{At: now, Channel: r.name, Kind: ProbeEnqueue, Replica: 2, Fill: len(r.queues[1])})
 		}
 		return
 	}
@@ -200,6 +218,9 @@ func (r *Replicator) write(p *des.Proc, tok kpn.Token) {
 			r.queues[i] = r.queues[i][:len(r.queues[i])-1]
 			r.purged[i]++
 			r.readBase[i]--
+			if fn := r.probe; fn != nil {
+				fn(ProbeEvent{At: r.k.Now(), Channel: r.name, Kind: ProbeDropSlide, Replica: i + 1, Fill: len(r.queues[i])})
+			}
 		}
 		r.queues[i] = append(r.queues[i], tok)
 		r.appended[i]++
@@ -208,10 +229,19 @@ func (r *Replicator) write(p *des.Proc, tok kpn.Token) {
 		}
 		r.k.Broadcast(&r.notEmpty[i])
 		delivered = true
+		if fn := r.probe; fn != nil {
+			fn(ProbeEvent{At: r.k.Now(), Channel: r.name, Kind: ProbeEnqueue, Replica: i + 1, Fill: len(r.queues[i])})
+		}
 	}
 	r.writes++
 	if !delivered {
 		r.lost++
+	}
+	if fn := r.probe; fn != nil {
+		fn(ProbeEvent{At: r.k.Now(), Channel: r.name, Kind: ProbeWrite})
+		if !delivered {
+			fn(ProbeEvent{At: r.k.Now(), Channel: r.name, Kind: ProbeDropLost})
+		}
 	}
 }
 
@@ -230,6 +260,9 @@ func (r *Replicator) read(p *des.Proc, i int) kpn.Token {
 	}
 	if fn := r.onRead[i]; fn != nil {
 		fn(r.k.Now())
+	}
+	if fn := r.probe; fn != nil {
+		fn(ProbeEvent{At: r.k.Now(), Channel: r.name, Kind: ProbeRead, Replica: i + 1, Fill: len(r.queues[i])})
 	}
 	if r.Strict {
 		r.k.Broadcast(&r.notFull)

@@ -87,6 +87,7 @@ type Selector struct {
 	D int64
 
 	onWrite [2]func(now des.Time)
+	probe   Probe
 }
 
 // SetWriteHook registers a callback fired after each write by replica
@@ -170,6 +171,14 @@ func (s *Selector) Resyncing(replica int) bool    { return s.resync[replica-1] }
 // participated in since its last (re-)integration base.
 func (s *Selector) effW(i int) int64 { return s.wcnt[i] - s.wBase[i] }
 
+// Divergence returns how many duplicate pairs the other interface leads
+// replica (1-based) by — the eq. 5 quantity a divergence conviction
+// compares against D. Negative when the replica itself is ahead.
+func (s *Selector) Divergence(replica int) int64 {
+	i := replica - 1
+	return s.effW(1-i) - s.effW(i)
+}
+
 // Reintegrate puts interface replica (1-based) into resynchronization
 // after its replica has been repaired: stale tokens still in the
 // replica's pipeline (stream index at or below the healthy interface's
@@ -199,6 +208,9 @@ func (s *Selector) Reintegrate(replica int) bool {
 		return false
 	}
 	s.resync[i] = true
+	if fn := s.probe; fn != nil {
+		fn(ProbeEvent{At: s.k.Now(), Channel: s.name, Kind: ProbeReintegrate, Replica: replica, Fill: s.Fill()})
+	}
 	// A writer parked on the space counter must re-route through the
 	// resync path; one parked mid-resync re-evaluates the new state.
 	s.k.Broadcast(&s.notFull[i])
@@ -231,6 +243,9 @@ func (s *Selector) align(i, h int, back int64) {
 	// its in-flight backlog; do not convict the healthy side for that.
 	s.selGrace[i] = int64(s.caps[i]) + s.D
 	s.reinstate(i)
+	if fn := s.probe; fn != nil {
+		fn(ProbeEvent{At: s.k.Now(), Channel: s.name, Kind: ProbeAligned, Replica: i + 1, Fill: s.Fill()})
+	}
 }
 
 // write implements rule 3 with fault detection on interface i (0-based),
@@ -244,6 +259,9 @@ func (s *Selector) write(p *des.Proc, i int, tok kpn.Token) {
 				// Stale pipeline remnant from before the outage (or a
 				// preload-era token): discard without counting.
 				s.resyncDrops[i]++
+				if fn := s.probe; fn != nil {
+					fn(ProbeEvent{At: s.k.Now(), Channel: s.name, Kind: ProbeDropResync, Replica: i + 1, Fill: s.Fill()})
+				}
 				return
 			case tok.Seq == last:
 				s.align(i, h, 1) // late duplicate of h's current pair
@@ -265,7 +283,8 @@ func (s *Selector) write(p *des.Proc, i int, tok kpn.Token) {
 		break
 	}
 	other := 1 - i
-	if s.effW(i) >= s.effW(other) {
+	enq := s.effW(i) >= s.effW(other)
+	if enq {
 		// First token of its duplicate pair: enqueue.
 		s.fifo = append(s.fifo, tok)
 		if f := s.Fill(); f > s.maxFill {
@@ -275,6 +294,14 @@ func (s *Selector) write(p *des.Proc, i int, tok kpn.Token) {
 	} else {
 		// Late duplicate of an already-queued token: drop.
 		s.drops[i]++
+	}
+	if fn := s.probe; fn != nil {
+		kind := ProbeDropDuplicate
+		if enq {
+			kind = ProbeEnqueue
+		}
+		fn(ProbeEvent{At: s.k.Now(), Channel: s.name, Kind: kind, Replica: i + 1,
+			Fill: s.Fill(), Lead: s.effW(i) + 1 - s.effW(other)})
 	}
 	s.wcnt[i]++
 	s.space[i]--
@@ -312,6 +339,9 @@ func (s *Selector) read(p *des.Proc) kpn.Token {
 		s.head = 0
 	}
 	s.reads++
+	if fn := s.probe; fn != nil {
+		fn(ProbeEvent{At: s.k.Now(), Channel: s.name, Kind: ProbeRead, Fill: s.Fill()})
+	}
 	for i := 0; i < 2; i++ {
 		s.space[i]++
 		// Consumer-stall detection: space beyond the virtual capacity

@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// TraceRecorder accumulates Chrome trace-event records (the JSON format
+// consumed by Perfetto and chrome://tracing) describing one run as a
+// timeline: duration slices for process activity, counter tracks for
+// queue fills, and instant markers for faults, convictions and
+// recovery phases. Timestamps are in microseconds — exactly the
+// simulator's virtual tick, so a DES run exports without conversion.
+//
+// A nil *TraceRecorder is a no-op on every method, mirroring the
+// registry's nil-safety: tracing disabled costs one branch per site.
+// The recorder is mutex-guarded so the wall-clock (crt) runtime can
+// record from several goroutines.
+type TraceRecorder struct {
+	mu     sync.Mutex
+	events []chromeEvent
+	tids   map[string]int64 // track (thread) name -> tid
+	order  []string
+}
+
+// chromeEvent is one record of the "JSON Array Format" trace spec.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    int64          `json:"ts"`
+	Dur   int64          `json:"dur,omitempty"`
+	PID   int64          `json:"pid"`
+	TID   int64          `json:"tid"`
+	Scope string         `json:"s,omitempty"`    // instant scope: g=global, p=process, t=thread
+	Args  map[string]any `json:"args,omitempty"` // counter series / metadata
+}
+
+// tracePID is the single synthetic process id all tracks live under.
+const tracePID = 1
+
+// NewTraceRecorder returns an empty recorder.
+func NewTraceRecorder() *TraceRecorder {
+	return &TraceRecorder{tids: make(map[string]int64)}
+}
+
+// tid returns the stable thread id for a named track, allocating the
+// next id (in first-use order) when new. Caller holds t.mu.
+func (t *TraceRecorder) tid(track string) int64 {
+	if id, ok := t.tids[track]; ok {
+		return id
+	}
+	id := int64(len(t.tids) + 1)
+	t.tids[track] = id
+	t.order = append(t.order, track)
+	return id
+}
+
+// Slice records a completed duration event [ts, ts+dur] on the named
+// track — one process "active" span.
+func (t *TraceRecorder) Slice(track, name string, ts, dur int64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.events = append(t.events, chromeEvent{
+		Name: name, Phase: "X", TS: ts, Dur: dur, PID: tracePID, TID: t.tid(track),
+	})
+	t.mu.Unlock()
+}
+
+// Counter records a counter sample: the named series on the named
+// counter track takes the given value at ts. Perfetto renders counter
+// tracks as filled step plots — the queue-fill trajectories of the
+// paper's Fig. 7.
+func (t *TraceRecorder) Counter(track, series string, ts, value int64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.events = append(t.events, chromeEvent{
+		Name: track, Phase: "C", TS: ts, PID: tracePID,
+		Args: map[string]any{series: value},
+	})
+	t.mu.Unlock()
+}
+
+// Instant records a zero-duration marker visible across the whole
+// timeline (fault raised, conviction, repair, re-integration).
+func (t *TraceRecorder) Instant(name string, ts int64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.events = append(t.events, chromeEvent{
+		Name: name, Phase: "i", TS: ts, PID: tracePID, Scope: "g",
+	})
+	t.mu.Unlock()
+}
+
+// Events returns the number of recorded events (0 for nil).
+func (t *TraceRecorder) Events() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// WriteJSON writes the accumulated trace in the Chrome trace "JSON
+// Object Format": thread-name metadata first (so Perfetto labels each
+// track), then every event in record order.
+func (t *TraceRecorder) WriteJSON(w io.Writer) error {
+	t.mu.Lock()
+	all := make([]chromeEvent, 0, len(t.order)+1+len(t.events))
+	all = append(all, chromeEvent{
+		Name: "process_name", Phase: "M", PID: tracePID,
+		Args: map[string]any{"name": "ftpn"},
+	})
+	for _, track := range t.order {
+		all = append(all, chromeEvent{
+			Name: "thread_name", Phase: "M", PID: tracePID, TID: t.tids[track],
+			Args: map[string]any{"name": track},
+		})
+	}
+	all = append(all, t.events...)
+	t.mu.Unlock()
+	doc := struct {
+		TraceEvents     []chromeEvent `json:"traceEvents"`
+		DisplayTimeUnit string        `json:"displayTimeUnit"`
+	}{TraceEvents: all, DisplayTimeUnit: "ms"}
+	enc := json.NewEncoder(w)
+	return enc.Encode(doc)
+}

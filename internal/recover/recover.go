@@ -17,6 +17,7 @@ import (
 
 	"ftpn/internal/des"
 	"ftpn/internal/ft"
+	"ftpn/internal/obs"
 	"ftpn/internal/rtc"
 )
 
@@ -58,13 +59,40 @@ func PlanFor(channel string, producer rtc.PJD, inModels [2]rtc.PJD, caps [2]int)
 	}, nil
 }
 
+// Conviction is one detection event enriched with the channel state
+// sampled at the instant of conviction, so logs and the obs layer can
+// attribute a fault without re-deriving engine state.
+type Conviction struct {
+	// Fault carries channel, replica, detection tick and reason.
+	Fault ft.Fault
+	// Divergence is how far the healthy side led the convicted replica
+	// on the detecting channel when it was convicted (duplicate pairs
+	// for selectors, consumed tokens for replicators).
+	Divergence int64
+	// Fill is the detecting channel's queue fill at conviction (the
+	// convicted replica's queue for replicators, the shared FIFO for
+	// selectors).
+	Fill int
+	// RecoveryScheduled reports whether this conviction triggered a
+	// recovery (false when one was already pending for the replica or
+	// the budget was exhausted).
+	RecoveryScheduled bool
+}
+
+// String renders the conviction for logs.
+func (c Conviction) String() string {
+	return fmt.Sprintf("%s: R%d convicted at %dus (%s, divergence %d, fill %d)",
+		c.Fault.Channel, c.Fault.Replica, c.Fault.At, c.Fault.Reason, c.Divergence, c.Fill)
+}
+
 // Event records one completed recovery.
 type Event struct {
 	Replica     int
 	DetectedAt  des.Time // first conviction that triggered this recovery
 	RecoveredAt des.Time
-	Detection   ft.Fault // the triggering conviction
-	Complete    bool     // every channel accepted the re-integration
+	Detection   ft.Fault   // the triggering conviction
+	Conviction  Conviction // the same conviction with channel state attached
+	Complete    bool       // every channel accepted the re-integration
 }
 
 // Manager watches a duplicated system for convictions and schedules
@@ -78,10 +106,15 @@ type Manager struct {
 	recoveries [2]int
 	events     []Event
 
+	// OnConvicted, when non-nil, observes every conviction with channel
+	// state attached — including ones that do not schedule a recovery.
+	OnConvicted func(Conviction)
 	// OnRecovered, when non-nil, observes each recovery as it
 	// completes; campaign engines use it to schedule follow-up faults
 	// deterministically.
 	OnRecovered func(Event)
+
+	reg *obs.Registry
 }
 
 // NewManager attaches a recovery manager to the system.
@@ -94,27 +127,60 @@ func NewManager(sys *ft.System, plan Plan) *Manager {
 // Events returns the completed recoveries in order.
 func (m *Manager) Events() []Event { return append([]Event(nil), m.events...) }
 
+// Observe registers the manager's lifecycle metrics in reg (see
+// DESIGN.md §9): ftpn_recover_convictions_total{channel,replica,reason},
+// ftpn_recover_recoveries_started_total{replica},
+// ftpn_recover_recoveries_total{replica,complete} and the
+// detection-to-recovery latency histogram ftpn_recover_latency_us. A
+// nil registry is a no-op. Recovery events are rare, so series are
+// resolved through the registry per event rather than pre-bound.
+func (m *Manager) Observe(reg *obs.Registry) { m.reg = reg }
+
+// conviction samples the detecting channel's state for a fault.
+func (m *Manager) conviction(f ft.Fault, scheduled bool) Conviction {
+	c := Conviction{Fault: f, RecoveryScheduled: scheduled}
+	if r, ok := m.sys.Replicators[f.Channel]; ok {
+		c.Divergence = r.Divergence(f.Replica)
+		c.Fill = r.Fill(f.Replica)
+	} else if s, ok := m.sys.Selectors[f.Channel]; ok {
+		c.Divergence = s.Divergence(f.Replica)
+		c.Fill = s.Fill()
+	}
+	return c
+}
+
 // onFault schedules a recovery for the convicted replica unless one is
 // already pending or the per-replica budget is exhausted. Convictions
 // of the same replica on multiple channels collapse into one recovery.
 func (m *Manager) onFault(f ft.Fault) {
 	i := f.Replica - 1
-	if m.pending[i] {
-		return
+	scheduled := !m.pending[i] &&
+		(m.plan.MaxRecoveries == 0 || m.recoveries[i] < m.plan.MaxRecoveries)
+	conv := m.conviction(f, scheduled)
+	if m.OnConvicted != nil {
+		m.OnConvicted(conv)
 	}
-	if m.plan.MaxRecoveries > 0 && m.recoveries[i] >= m.plan.MaxRecoveries {
+	if reg := m.reg; reg != nil {
+		reg.Counter("ftpn_recover_convictions_total", "Convictions seen by the recovery manager.",
+			obs.Labels{"channel": f.Channel, "replica": fmt.Sprintf("%d", f.Replica), "reason": string(f.Reason)}).Inc()
+	}
+	if !scheduled {
 		return
 	}
 	m.pending[i] = true
 	m.recoveries[i]++
-	det := f
-	m.sys.K.At(f.At+m.plan.Delay, func() { m.recover(det) })
+	if reg := m.reg; reg != nil {
+		reg.Counter("ftpn_recover_recoveries_started_total", "Recoveries scheduled after a conviction.",
+			obs.Labels{"replica": fmt.Sprintf("%d", f.Replica)}).Inc()
+	}
+	m.sys.K.At(f.At+m.plan.Delay, func() { m.recover(conv) })
 }
 
 // recover re-integrates the replica on all channels, then clears its
 // fault switch — in that order, so the replica resumes against
 // already-consistent channel state within one kernel event.
-func (m *Manager) recover(det ft.Fault) {
+func (m *Manager) recover(conv Conviction) {
+	det := conv.Fault
 	i := det.Replica - 1
 	complete := m.sys.Reintegrate(det.Replica, m.plan.Channels)
 	m.sys.Switches[i].Repair()
@@ -124,9 +190,16 @@ func (m *Manager) recover(det ft.Fault) {
 		DetectedAt:  det.At,
 		RecoveredAt: m.sys.K.Now(),
 		Detection:   det,
+		Conviction:  conv,
 		Complete:    complete,
 	}
 	m.events = append(m.events, ev)
+	if reg := m.reg; reg != nil {
+		reg.Counter("ftpn_recover_recoveries_total", "Recoveries performed.",
+			obs.Labels{"replica": fmt.Sprintf("%d", det.Replica), "complete": fmt.Sprintf("%t", complete)}).Inc()
+		reg.Histogram("ftpn_recover_latency_us", "Detection-to-recovery latency.",
+			obs.ExpBuckets(1000, 4, 8), nil).Observe(ev.RecoveredAt - ev.DetectedAt)
+	}
 	if m.OnRecovered != nil {
 		m.OnRecovered(ev)
 	}

@@ -7,6 +7,7 @@ import (
 	"ftpn/internal/fault"
 	"ftpn/internal/ft"
 	"ftpn/internal/kpn"
+	"ftpn/internal/obs"
 	"ftpn/internal/rtc"
 )
 
@@ -136,5 +137,71 @@ func TestPlanForDerivesBoundedFill(t *testing.T) {
 	}
 	if fill < 0 || fill > 3 {
 		t.Errorf("re-arm fill = %d, want within [0, cap-1] = [0, 3]", fill)
+	}
+}
+
+func TestOnConvictedCarriesChannelState(t *testing.T) {
+	var sink []kpn.Token
+	k, sys := buildSys(t, 300, &sink)
+	m := NewManager(sys, Plan{Delay: 20_000, MaxRecoveries: 1})
+	reg := obs.NewRegistry()
+	m.Observe(reg)
+	var convs []Conviction
+	m.OnConvicted = func(c Conviction) { convs = append(convs, c) }
+
+	sys.InjectFault(2, 40_000, fault.StopAll, 0)
+	sys.InjectFault(2, 150_000, fault.StopAll, 0)
+	k.Run(0)
+	k.Shutdown()
+
+	if len(convs) != len(sys.Faults) {
+		t.Fatalf("OnConvicted fired %d times, engine recorded %d faults", len(convs), len(sys.Faults))
+	}
+	first := convs[0]
+	if first.Fault.Channel == "" || first.Fault.Replica != 2 || first.Fault.At == 0 {
+		t.Errorf("conviction lacks attribution: %+v", first)
+	}
+	// A stop fault is caught either by queue-full (fill at capacity) or
+	// divergence/stall (healthy side leading) — some state must be
+	// non-trivial at conviction.
+	if first.Fill == 0 && first.Divergence == 0 {
+		t.Errorf("conviction carries no channel state: %+v", first)
+	}
+	if !first.RecoveryScheduled {
+		t.Error("first conviction should schedule the recovery")
+	}
+	scheduled := 0
+	for _, c := range convs {
+		if c.RecoveryScheduled {
+			scheduled++
+		}
+	}
+	if scheduled != len(m.Events()) {
+		t.Errorf("scheduled convictions = %d, completed recoveries = %d", scheduled, len(m.Events()))
+	}
+
+	// Metric identities: convictions metric == faults; recoveries
+	// started == recoveries performed == scheduled convictions. Sum the
+	// conviction series over the distinct label sets the run produced.
+	var convTotal int64
+	seen := map[string]bool{}
+	for _, f := range sys.Faults {
+		key := f.Channel + "|" + string(f.Reason)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		convTotal += reg.Counter("ftpn_recover_convictions_total", "",
+			obs.Labels{"channel": f.Channel, "replica": "2", "reason": string(f.Reason)}).Value()
+	}
+	if convTotal != int64(len(sys.Faults)) {
+		t.Errorf("convictions metric = %d, want %d", convTotal, len(sys.Faults))
+	}
+	started := reg.Counter("ftpn_recover_recoveries_started_total", "", obs.Labels{"replica": "2"}).Value()
+	if started != int64(scheduled) {
+		t.Errorf("recoveries started metric = %d, want %d", started, scheduled)
+	}
+	if h := reg.Histogram("ftpn_recover_latency_us", "", nil, nil); h.Count() != int64(len(m.Events())) {
+		t.Errorf("latency histogram count = %d, want %d", h.Count(), len(m.Events()))
 	}
 }

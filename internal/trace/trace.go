@@ -15,16 +15,38 @@ import (
 
 // Stats accumulates int64 samples and reports min/max/mean (the summary
 // format of Tables 2 and 3) plus percentiles over a retained sample set.
+//
+// Count, Min, Max and Mean are always exact. Percentiles are computed
+// over a retained set of at most maxRetained samples: exact while the
+// stream fits, and a uniform random subset (reservoir sampling,
+// Algorithm R with a deterministic seed) once it does not — every
+// sample of the stream has equal probability maxRetained/n of being
+// retained, so the nearest-rank percentile over the reservoir is a
+// consistent estimator of the stream percentile with standard error
+// O(1/sqrt(maxRetained)). Runs are bit-reproducible: the generator is
+// seeded identically for every Stats value.
 type Stats struct {
 	n        int64
 	sum      int64
 	min, max int64
 	samples  []int64
+	rng      uint64 // splitmix64 state; zero value = the deterministic seed
 }
 
-// maxRetained caps the per-Stats sample memory; experiments in this
-// repository stay far below it.
+// maxRetained caps the per-Stats sample memory; most experiments in
+// this repository stay below it, making percentiles exact.
 const maxRetained = 1 << 16
+
+// rand64 steps the deterministic splitmix64 generator.
+func (s *Stats) rand64() uint64 {
+	s.rng += 0x9E3779B97F4A7C15
+	z := s.rng
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
 
 // Add records one sample.
 func (s *Stats) Add(v int64) {
@@ -38,6 +60,14 @@ func (s *Stats) Add(v int64) {
 	s.sum += v
 	if len(s.samples) < maxRetained {
 		s.samples = append(s.samples, v)
+		return
+	}
+	// Algorithm R: the i-th sample (1-based, i = s.n) replaces a random
+	// reservoir slot with probability maxRetained/i, keeping retention
+	// uniform over the whole stream. The modulo bias is at most
+	// maxRetained/2^64 per draw — far below the estimator's own error.
+	if j := s.rand64() % uint64(s.n); j < maxRetained {
+		s.samples[j] = v
 	}
 }
 
@@ -59,7 +89,9 @@ func (s *Stats) Mean() int64 {
 }
 
 // Percentile returns the p-th percentile (0 < p <= 100) using the
-// nearest-rank method over the retained samples; 0 when empty.
+// nearest-rank method over the retained samples; 0 when empty. Exact
+// while Count() <= maxRetained; for longer streams it is a reservoir
+// estimate — see the Stats doc for the estimator's properties.
 func (s *Stats) Percentile(p float64) int64 {
 	if len(s.samples) == 0 || p <= 0 {
 		return 0
@@ -76,7 +108,13 @@ func (s *Stats) Percentile(p float64) int64 {
 	return sorted[rank-1]
 }
 
-// Merge folds other's samples into s.
+// Merge folds other's samples into s. Count/min/max/sum merge exactly.
+// When the combined retained sets fit under maxRetained they are
+// concatenated (so merging never-truncated Stats stays exact);
+// otherwise each side contributes reservoir slots in proportion to the
+// number of underlying samples it represents, chosen by a deterministic
+// partial Fisher-Yates shuffle, keeping retention approximately uniform
+// over the combined stream.
 func (s *Stats) Merge(other *Stats) {
 	if other.n == 0 {
 		return
@@ -87,13 +125,37 @@ func (s *Stats) Merge(other *Stats) {
 	if s.n == 0 || other.max > s.max {
 		s.max = other.max
 	}
+	nS, nO := s.n, other.n
 	s.n += other.n
 	s.sum += other.sum
-	room := maxRetained - len(s.samples)
-	if room > len(other.samples) {
-		room = len(other.samples)
+	if len(s.samples)+len(other.samples) <= maxRetained {
+		s.samples = append(s.samples, other.samples...)
+		return
 	}
-	s.samples = append(s.samples, other.samples[:room]...)
+	kS := int(int64(maxRetained) * nS / (nS + nO))
+	kO := maxRetained - kS
+	if kO > len(other.samples) {
+		kO = len(other.samples)
+	}
+	if kS > len(s.samples) || kS+kO < maxRetained {
+		kS = maxRetained - kO
+		if kS > len(s.samples) {
+			kS = len(s.samples)
+		}
+	}
+	s.samples = s.subsample(s.samples, kS)
+	s.samples = append(s.samples, s.subsample(append([]int64(nil), other.samples...), kO)...)
+}
+
+// subsample returns k elements of v chosen uniformly without
+// replacement (partial Fisher-Yates driven by s's generator). v is
+// permuted in place.
+func (s *Stats) subsample(v []int64, k int) []int64 {
+	for i := 0; i < k; i++ {
+		j := i + int(s.rand64()%uint64(len(v)-i))
+		v[i], v[j] = v[j], v[i]
+	}
+	return v[:k]
 }
 
 // String renders "min/max/mean" in the unit of the samples.

@@ -78,6 +78,74 @@ func TestStatsMergeEqualsBulkAdd(t *testing.T) {
 	}
 }
 
+func TestStatsReservoirPercentiles(t *testing.T) {
+	// 4x the retention cap of a linear ramp: the old retention policy
+	// kept only the first 65536 samples, so p50 of [1..4*65536] came out
+	// near 32768 instead of ~131072. The reservoir estimate must land
+	// within a few percent of the true percentile.
+	const n = 4 * maxRetained
+	var s Stats
+	for v := int64(1); v <= n; v++ {
+		s.Add(v)
+	}
+	if s.Count() != n || s.Min() != 1 || s.Max() != n {
+		t.Fatalf("count/min/max = %d/%d/%d", s.Count(), s.Min(), s.Max())
+	}
+	for _, p := range []float64{10, 50, 90, 99} {
+		got := float64(s.Percentile(p))
+		want := p / 100 * n
+		if diff := (got - want) / n; diff < -0.02 || diff > 0.02 {
+			t.Errorf("p%.0f = %.0f, want %.0f +/- 2%% of range", p, got, want)
+		}
+	}
+	// Determinism: an identical stream yields identical percentiles.
+	var s2 Stats
+	for v := int64(1); v <= n; v++ {
+		s2.Add(v)
+	}
+	for _, p := range []float64{10, 50, 90, 99} {
+		if s.Percentile(p) != s2.Percentile(p) {
+			t.Fatalf("p%.0f differs across identical runs: %d vs %d",
+				p, s.Percentile(p), s2.Percentile(p))
+		}
+	}
+}
+
+func TestStatsMergeOverflowedReservoirs(t *testing.T) {
+	// a represents 3x as many samples as b and draws them from a
+	// disjoint, higher range; the merged reservoir must reflect the 3:1
+	// weighting (p50 falls in a's range, p10 in b's).
+	var a, b Stats
+	for v := int64(1); v <= 3*maxRetained; v++ {
+		a.Add(1_000_000 + v)
+	}
+	for v := int64(1); v <= maxRetained; v++ {
+		b.Add(v)
+	}
+	a.Merge(&b)
+	if a.Count() != 4*maxRetained {
+		t.Fatalf("count = %d", a.Count())
+	}
+	if got := a.Percentile(10); got > maxRetained {
+		t.Errorf("p10 = %d, want within b's range (<= %d)", got, maxRetained)
+	}
+	if got := a.Percentile(50); got < 1_000_000 {
+		t.Errorf("p50 = %d, want within a's range (>= 1000000)", got)
+	}
+	// The b-side share of the reservoir tracks its 25% share of the
+	// underlying stream.
+	low := 0
+	for _, v := range a.samples {
+		if v <= maxRetained {
+			low++
+		}
+	}
+	frac := float64(low) / float64(len(a.samples))
+	if frac < 0.20 || frac > 0.30 {
+		t.Errorf("b's reservoir share = %.3f, want ~0.25", frac)
+	}
+}
+
 func TestArrivals(t *testing.T) {
 	var a Arrivals
 	for _, at := range []des.Time{0, 100, 230, 330} {

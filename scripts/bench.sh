@@ -1,14 +1,42 @@
 #!/bin/sh
-# Regenerate BENCH_PR1.json: the machine-readable performance report for
-# the breakpoint-solver / parallel-runner / event-freelist optimization
-# (README "Performance"). Runs the suite via the ftpnsim bench harness,
-# then prints the go-bench view of the same targets for eyeballing.
+# Regenerate the machine-readable performance reports:
+#  - BENCH_PR1.json: breakpoint-solver / parallel-runner / event-freelist
+#    optimization vs its seed baselines (README "Performance").
+#  - BENCH_PR4.json: observability hook overhead — channel ops with hooks
+#    disabled vs metrics installed, compared against the pre-probe tree's
+#    hot path (DESIGN.md §9). The pre-probe ns/op baselines are measured
+#    by checking the PR4_SEED_REV commit out into a throwaway worktree
+#    and parsing the "runtime:" row of its own Table 2 output, so both
+#    sides run on the same host back to back.
+# Finishes with the go-bench view of the same targets for eyeballing.
 set -eu
 cd "$(dirname "$0")/.."
 
 go run ./cmd/ftpnsim -exp bench -out BENCH_PR1.json
+
+echo
+echo "== BENCH_PR4: observability hook overhead =="
+PR4_SEED_REV=${PR4_SEED_REV:-2d673fa}
+seed_sel=0
+seed_rep=0
+if git rev-parse --verify --quiet "$PR4_SEED_REV^{commit}" >/dev/null; then
+    wt=$(mktemp -d)
+    git worktree add --detach --force "$wt" "$PR4_SEED_REV" >/dev/null
+    line=$( (cd "$wt" && go run ./cmd/ftpnsim -exp table2 -app mjpeg -runs 2 -tokens 120) \
+        | grep 'runtime: selector' || true)
+    git worktree remove --force "$wt" >/dev/null
+    seed_sel=$(printf '%s' "$line" | sed -n 's/.*selector \([0-9][0-9]*\)ns\/op.*/\1/p')
+    seed_rep=$(printf '%s' "$line" | sed -n 's/.*replicator \([0-9][0-9]*\)ns\/op.*/\1/p')
+    echo "seed ($PR4_SEED_REV): selector ${seed_sel:-?}ns/op, replicator ${seed_rep:-?}ns/op"
+else
+    echo "seed revision $PR4_SEED_REV unavailable; skipping seed comparison"
+fi
+go run ./cmd/ftpnsim -exp obsbench -out BENCH_PR4.json \
+    -seed-sel-ns "${seed_sel:-0}" -seed-rep-ns "${seed_rep:-0}"
+
 echo
 echo "== go test -bench view =="
 go test -run xxx -bench 'Table2MJPEG' -benchmem .
 go test -run xxx -bench 'SupDiff|DetectionBound|DelayBound|OutputBound$' -benchmem ./internal/rtc/
 go test -run xxx -bench . -benchmem ./internal/des/
+go test -run xxx -bench 'SelectorHotPath|CounterInc|HistogramObserve' -benchmem ./internal/ft/ ./internal/obs/
