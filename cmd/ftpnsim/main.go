@@ -8,7 +8,9 @@
 //	ftpnsim -exp bench  -out BENCH_PR1.json
 //	ftpnsim -exp campaign -n 1000 -seed 1 -out BENCH_PR2.json
 //	ftpnsim -exp obsbench -out BENCH_PR4.json
+//	ftpnsim -exp corebench -out BENCH_PR5.json
 //	ftpnsim -exp table2 -app adpcm -tracefile out.json
+//	ftpnsim -exp campaign -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // -tracefile additionally records one fault + recovery run of the
 // selected application as a Chrome trace-event timeline (queue-fill
@@ -16,7 +18,14 @@
 // Perfetto or chrome://tracing. The obsbench experiment prices the
 // observability hooks (disabled vs metrics-enabled channel ops);
 // -seed-sel-ns/-seed-rep-ns feed it the seed tree's ns/op for the
-// regression comparison (see scripts/bench.sh).
+// regression comparison (see scripts/bench.sh). The corebench
+// experiment measures the simulation core — bucket-queue scheduler vs
+// the heap oracle, SPSC channel fast path vs the locked oracle, and the
+// memoized campaign with its parallel-level bit-identity check;
+// -seed-campaign-ns feeds it the seed tree's campaign wall-clock.
+//
+// -cpuprofile/-memprofile write pprof profiles covering the selected
+// experiment (the memory profile is written at exit, after a final GC).
 //
 // The campaign experiment sweeps randomized fault scenarios (mode ×
 // replica × injection time × repair delay × jitter tier × app) through
@@ -37,6 +46,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 
 	"ftpn/internal/des"
 	"ftpn/internal/exp"
@@ -57,11 +67,16 @@ type cliConfig struct {
 	tracefile string // Chrome-trace output path ("" = off)
 	seedSelNs int64  // seed selector ns/op for obsbench ("0" = unknown)
 	seedRepNs int64  // seed replicator ns/op for obsbench
+
+	seedCampaignNs int64  // seed campaign wall-clock ns for corebench
+	golden         string // pre-PR campaign report for corebench's diff
+	cpuprofile     string // pprof CPU profile path ("" = off)
+	memprofile     string // pprof heap profile path ("" = off)
 }
 
 func main() {
 	var cfg cliConfig
-	flag.StringVar(&cfg.expName, "exp", "table2", "experiment: table1, table2, table3, report, fills, bench, campaign or obsbench")
+	flag.StringVar(&cfg.expName, "exp", "table2", "experiment: table1, table2, table3, report, fills, bench, campaign, obsbench or corebench")
 	flag.StringVar(&cfg.appName, "app", "all", "application: mjpeg, adpcm, h264 or all")
 	flag.IntVar(&cfg.runs, "runs", 20, "fault-injection runs per configuration")
 	flag.Int64Var(&cfg.pollUs, "poll", 1000, "distance-function poll period in µs (table3)")
@@ -73,6 +88,10 @@ func main() {
 	flag.StringVar(&cfg.tracefile, "tracefile", "", "also write a Chrome-trace timeline of one fault+recovery run of the selected app")
 	flag.Int64Var(&cfg.seedSelNs, "seed-sel-ns", 0, "seed selector ns/op baseline for obsbench (0 = skip seed comparison)")
 	flag.Int64Var(&cfg.seedRepNs, "seed-rep-ns", 0, "seed replicator ns/op baseline for obsbench (0 = skip seed comparison)")
+	flag.Int64Var(&cfg.seedCampaignNs, "seed-campaign-ns", 0, "seed campaign wall-clock ns baseline for corebench (0 = skip seed comparison)")
+	flag.StringVar(&cfg.golden, "golden", "", "pre-PR campaign report corebench diffs against (default BENCH_PR2.json)")
+	flag.StringVar(&cfg.cpuprofile, "cpuprofile", "", "write a pprof CPU profile of the experiment to this path")
+	flag.StringVar(&cfg.memprofile, "memprofile", "", "write a pprof heap profile at exit to this path")
 	flag.Parse()
 	if err := run(cfg); err != nil {
 		fmt.Fprintf(os.Stderr, "ftpnsim: %v\n", err)
@@ -81,10 +100,51 @@ func main() {
 }
 
 func run(cfg cliConfig) error {
+	stop, err := startProfiles(cfg)
+	if err != nil {
+		return err
+	}
+	defer stop()
 	if err := runExperiment(cfg); err != nil {
 		return err
 	}
 	return writeTrace(cfg)
+}
+
+// startProfiles arms the -cpuprofile/-memprofile collectors and returns
+// the function that flushes them once the experiment is done.
+func startProfiles(cfg cliConfig) (stop func(), err error) {
+	var cpuF *os.File
+	if cfg.cpuprofile != "" {
+		cpuF, err = os.Create(cfg.cpuprofile)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuF); err != nil {
+			cpuF.Close()
+			return nil, err
+		}
+	}
+	return func() {
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			cpuF.Close()
+			fmt.Fprintf(os.Stderr, "cpu profile written to %s\n", cfg.cpuprofile)
+		}
+		if cfg.memprofile != "" {
+			f, err := os.Create(cfg.memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ftpnsim: memprofile: %v\n", err)
+				return
+			}
+			runtime.GC() // settle live-heap statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "ftpnsim: memprofile: %v\n", err)
+			}
+			f.Close()
+			fmt.Fprintf(os.Stderr, "heap profile written to %s\n", cfg.memprofile)
+		}
+	}, nil
 }
 
 // writeTrace records the -tracefile timeline, if requested.
@@ -210,6 +270,31 @@ func runExperiment(cfg cliConfig) error {
 			fmt.Fprintf(os.Stderr, "observability bench report written to %s\n", out)
 		}
 		return nil
+	case "corebench":
+		out := cfg.out
+		if out == "" {
+			out = "BENCH_PR5.json"
+		}
+		var w io.Writer = os.Stdout
+		if out != "-" {
+			f, err := os.Create(out)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := exp.RunCoreBenchSuite(w, os.Stderr, exp.CoreBenchConfig{
+			CampaignRuns:   cfg.n,
+			SeedCampaignNs: cfg.seedCampaignNs,
+			GoldenPath:     cfg.golden,
+		}); err != nil {
+			return err
+		}
+		if out != "-" {
+			fmt.Fprintf(os.Stderr, "simulation-core bench report written to %s\n", out)
+		}
+		return nil
 	case "campaign":
 		res, err := exp.Campaign(exp.CampaignConfig{Runs: cfg.n, Seed: cfg.seed}, opts...)
 		if err != nil {
@@ -241,6 +326,6 @@ func runExperiment(cfg cliConfig) error {
 		}
 		return nil
 	default:
-		return fmt.Errorf("unknown experiment %q (want table1, table2, table3, report, fills, bench, campaign or obsbench)", cfg.expName)
+		return fmt.Errorf("unknown experiment %q (want table1, table2, table3, report, fills, bench, campaign, obsbench or corebench)", cfg.expName)
 	}
 }

@@ -28,6 +28,10 @@ type ADPCMConfig struct {
 
 	InCap, MidCap, OutCap int
 	OutInit               int
+
+	// Memo, when non-nil, caches the deterministic payload pipeline
+	// (PCM synthesis, encode, decode) across runs sharing the config.
+	Memo *kpn.PayloadMemo
 }
 
 // DefaultADPCMConfig returns the paper's parameters: 3 KB samples every
@@ -79,10 +83,10 @@ func ADPCMNetwork(cfg ADPCMConfig, sink Sink) (*kpn.Network, error) {
 	}
 	procs := []kpn.ProcessSpec{
 		{Name: "producer", Role: kpn.RoleProducer, New: func(int) kpn.Behavior {
-			return kpn.Producer(cfg.Producer, 21, cfg.Blocks, cfg.pcmBlock)
+			return kpn.Producer(cfg.Producer, 21, cfg.Blocks, cfg.Memo.Gen("adpcm/pcm", cfg.pcmBlock))
 		}},
 		{Name: "encoder", Role: kpn.RoleCritical, New: func(r int) kpn.Behavior {
-			return kpn.Transform(cfg.Enc.work(r), 22, func(i int64, payload []byte) []byte {
+			return kpn.MemoTransform(cfg.Enc.work(r), 22, cfg.Memo, "adpcm/enc", func(i int64, payload []byte) []byte {
 				samples := bytesToPCM(payload)
 				block, err := adpcm.EncodeBlock(samples)
 				if err != nil {
@@ -92,7 +96,7 @@ func ADPCMNetwork(cfg ADPCMConfig, sink Sink) (*kpn.Network, error) {
 			})
 		}},
 		{Name: "decoder", Role: kpn.RoleCritical, New: func(r int) kpn.Behavior {
-			return kpn.Transform(cfg.Dec.work(r), 23, func(i int64, payload []byte) []byte {
+			return kpn.MemoTransform(cfg.Dec.work(r), 23, cfg.Memo, "adpcm/dec", func(i int64, payload []byte) []byte {
 				samples, err := adpcm.DecodeBlock(payload)
 				if err != nil {
 					panic(fmt.Sprintf("apps: ADPCM decode: %v", err))

@@ -29,6 +29,11 @@ type H264Config struct {
 
 	InCap, MidCap, OutCap int
 	OutInit               int
+
+	// Memo, when non-nil, caches the deterministic payload pipeline
+	// (raw-frame synthesis, per-slice encode) across runs sharing the
+	// config.
+	Memo *kpn.PayloadMemo
 }
 
 // DefaultH264Config returns a ~30 fps encoder configuration with
@@ -89,7 +94,7 @@ func H264Network(cfg H264Config, sink Sink) (*kpn.Network, error) {
 		return nil, err
 	}
 	cache := make(map[int64][]byte, cfg.FrameCache)
-	gen := func(i int64) []byte {
+	gen := cfg.Memo.Gen("h264/raw", func(i int64) []byte {
 		key := i % int64(cfg.FrameCache)
 		if b, ok := cache[key]; ok {
 			return b
@@ -97,7 +102,7 @@ func H264Network(cfg H264Config, sink Sink) (*kpn.Network, error) {
 		b := cfg.rawFrame(key)
 		cache[key] = b
 		return b
-	}
+	})
 	sliceH := cfg.Height / cfg.Slices
 
 	procs := []kpn.ProcessSpec{
@@ -131,7 +136,7 @@ func H264Network(cfg H264Config, sink Sink) (*kpn.Network, error) {
 	for s := 0; s < cfg.Slices; s++ {
 		en := fmt.Sprintf("encode%d", s+1)
 		procs = append(procs, kpn.ProcessSpec{Name: en, Role: kpn.RoleCritical, New: func(r int) kpn.Behavior {
-			return kpn.Transform(cfg.Enc.work(r), 33+int64(s), func(i int64, payload []byte) []byte {
+			return kpn.MemoTransform(cfg.Enc.work(r), 33+int64(s), cfg.Memo, "h264/"+en, func(i int64, payload []byte) []byte {
 				data, err := h264.Encode(payload, cfg.Width, sliceH, cfg.QP)
 				if err != nil {
 					panic(fmt.Sprintf("apps: H264 encode: %v", err))

@@ -32,6 +32,11 @@ type MJPEGConfig struct {
 	// of the duplicated system).
 	InCap, MidCap, OutCap int
 	OutInit               int
+
+	// Memo, when non-nil, caches the deterministic payload pipeline
+	// (frame encode, per-strip decode) across runs sharing the config;
+	// see kpn.PayloadMemo. Timing and output streams are unaffected.
+	Memo *kpn.PayloadMemo
 }
 
 // DefaultMJPEGConfig returns the paper's Table 1 parameters: ~30 fps
@@ -107,7 +112,7 @@ func MJPEGNetwork(cfg MJPEGConfig, sink Sink) (*kpn.Network, error) {
 		return nil, err
 	}
 	cache := make(map[int64][]byte, cfg.FrameCache)
-	gen := func(i int64) []byte {
+	gen := cfg.Memo.Gen("mjpeg/frames", func(i int64) []byte {
 		key := i % int64(cfg.FrameCache)
 		if b, ok := cache[key]; ok {
 			return b
@@ -115,7 +120,7 @@ func MJPEGNetwork(cfg MJPEGConfig, sink Sink) (*kpn.Network, error) {
 		b := cfg.encodeFrameStrips(key)
 		cache[key] = b
 		return b
-	}
+	})
 
 	procs := []kpn.ProcessSpec{
 		{Name: "producer", Role: kpn.RoleProducer, New: func(int) kpn.Behavior {
@@ -131,7 +136,7 @@ func MJPEGNetwork(cfg MJPEGConfig, sink Sink) (*kpn.Network, error) {
 	for s := 0; s < cfg.Strips; s++ {
 		dn := fmt.Sprintf("decode%d", s+1)
 		procs = append(procs, kpn.ProcessSpec{Name: dn, Role: kpn.RoleCritical, New: func(r int) kpn.Behavior {
-			return kpn.Transform(cfg.Dec.work(r), 100+int64(s), func(i int64, payload []byte) []byte {
+			return kpn.MemoTransform(cfg.Dec.work(r), 100+int64(s), cfg.Memo, "mjpeg/"+dn, func(i int64, payload []byte) []byte {
 				f, err := mjpeg.Decode(payload)
 				if err != nil {
 					panic(fmt.Sprintf("apps: MJPEG decode: %v", err))

@@ -35,6 +35,11 @@ type RadarConfig struct {
 
 	InCap, MidCap, OutCap int
 	OutInit               int
+
+	// Memo, when non-nil, caches the deterministic payload pipeline
+	// (echo synthesis, matched filter, envelope, CFAR) across runs
+	// sharing the config.
+	Memo *kpn.PayloadMemo
 }
 
 // DefaultRadarConfig returns a 10 Hz scan with two planted targets and
@@ -79,20 +84,20 @@ func RadarNetwork(cfg RadarConfig, sink Sink) (*kpn.Network, error) {
 		return nil, err
 	}
 
-	gen := func(i int64) []byte {
+	gen := cfg.Memo.Gen("radar/echo", func(i int64) []byte {
 		sig, err := dsp.AddEchoes(cfg.Window, pulse, cfg.Targets, cfg.Gains, cfg.NoiseAmp, 1000+i%16)
 		if err != nil {
 			panic(fmt.Sprintf("apps: radar echo synthesis: %v", err))
 		}
 		return dsp.PackF64(sig)
-	}
+	})
 
 	procs := []kpn.ProcessSpec{
 		{Name: "frontend", Role: kpn.RoleProducer, New: func(int) kpn.Behavior {
 			return kpn.Producer(cfg.Producer, 51, cfg.Intervals, gen)
 		}},
 		{Name: "matchedfilter", Role: kpn.RoleCritical, New: func(r int) kpn.Behavior {
-			return kpn.Transform(cfg.MF.work(r), 52, func(i int64, payload []byte) []byte {
+			return kpn.MemoTransform(cfg.MF.work(r), 52, cfg.Memo, "radar/mf", func(i int64, payload []byte) []byte {
 				x, err := dsp.UnpackF64(payload)
 				if err != nil {
 					panic(err)
@@ -101,7 +106,7 @@ func RadarNetwork(cfg RadarConfig, sink Sink) (*kpn.Network, error) {
 			})
 		}},
 		{Name: "envelope", Role: kpn.RoleCritical, New: func(r int) kpn.Behavior {
-			return kpn.Transform(cfg.Env.work(r), 53, func(i int64, payload []byte) []byte {
+			return kpn.MemoTransform(cfg.Env.work(r), 53, cfg.Memo, "radar/env", func(i int64, payload []byte) []byte {
 				x, err := dsp.UnpackF64(payload)
 				if err != nil {
 					panic(err)
@@ -110,7 +115,7 @@ func RadarNetwork(cfg RadarConfig, sink Sink) (*kpn.Network, error) {
 			})
 		}},
 		{Name: "cfar", Role: kpn.RoleCritical, New: func(r int) kpn.Behavior {
-			return kpn.Transform(cfg.Cfar.work(r), 54, func(i int64, payload []byte) []byte {
+			return kpn.MemoTransform(cfg.Cfar.work(r), 54, cfg.Memo, "radar/cfar", func(i int64, payload []byte) []byte {
 				x, err := dsp.UnpackF64(payload)
 				if err != nil {
 					panic(err)

@@ -74,7 +74,12 @@ func (r *Replicator) Write(tok Token) bool {
 			continue
 		}
 		r.queues[i] = append(r.queues[i], tok)
-		r.notEmpty[i].Signal()
+		// Replica i's reader parks only after observing an empty queue
+		// under this lock, so only the empty->non-empty transition can
+		// have a waiter to wake.
+		if len(r.queues[i]) == 1 {
+			r.notEmpty[i].Signal()
+		}
 		delivered = true
 		if fn := r.probe; fn != nil {
 			fn(ProbeEvent{At: r.clock.Now(), Channel: r.name, Kind: "enqueue", Replica: i + 1, Fill: len(r.queues[i])})
@@ -371,7 +376,11 @@ func (s *Selector) Write(replica int, tok Token) bool {
 		if len(s.fifo) > s.maxFill {
 			s.maxFill = len(s.fifo)
 		}
-		s.notEmpty.Signal()
+		// The consumer parks only after observing an empty FIFO under
+		// this lock; later enqueues have nobody to wake.
+		if len(s.fifo) == 1 {
+			s.notEmpty.Signal()
+		}
 		if fn := s.probe; fn != nil {
 			fn(ProbeEvent{At: s.clock.Now(), Channel: s.name, Kind: "enqueue", Replica: replica, Fill: len(s.fifo)})
 		}
@@ -434,7 +443,12 @@ func (s *Selector) Read() (Token, bool) {
 			s.reasons[i] = "consumer-stall"
 			fire = append(fire, Fault{Channel: s.name, Replica: i + 1, At: s.faultAt[i], Reason: "consumer-stall"})
 		}
-		s.notFull[i].Signal()
+		// Writer i parks only after observing zero space under this lock
+		// (Reintegrate re-routes it with its own broadcast), so only the
+		// 0 -> 1 space transition can have a waiter to wake.
+		if s.space[i] == 1 {
+			s.notFull[i].Signal()
+		}
 	}
 	s.mu.Unlock()
 	for _, f := range fire {

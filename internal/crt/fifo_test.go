@@ -1,0 +1,189 @@
+package crt
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// blockingFIFO is the surface shared by the SPSC FIFO and the
+// LockedFIFO oracle; the suite below runs against both.
+type blockingFIFO interface {
+	Name() string
+	Write(Token) bool
+	Read() (Token, bool)
+	Close()
+	MaxFill() int
+	Fill() int
+}
+
+var fifoImpls = []struct {
+	name string
+	mk   func(name string, capacity int) blockingFIFO
+}{
+	{"spsc", func(n string, c int) blockingFIFO { return NewFIFO(n, c) }},
+	{"locked", func(n string, c int) blockingFIFO { return NewLockedFIFO(n, c) }},
+}
+
+// TestFIFOImplsOrderAndBounds streams tokens through each
+// implementation with randomized consumer pacing and checks strict FIFO
+// order, the capacity bound on the watermark, and the empty end state.
+func TestFIFOImplsOrderAndBounds(t *testing.T) {
+	for _, impl := range fifoImpls {
+		t.Run(impl.name, func(t *testing.T) {
+			f := impl.mk("c", 4)
+			const n = 5000
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				rng := rand.New(rand.NewSource(11))
+				for i := int64(1); i <= n; i++ {
+					if rng.Intn(64) == 0 {
+						time.Sleep(time.Microsecond)
+					}
+					tok, ok := f.Read()
+					if !ok || tok.Seq != i {
+						t.Errorf("read %d: got %v ok=%v", i, tok.Seq, ok)
+						return
+					}
+				}
+			}()
+			for i := int64(1); i <= n; i++ {
+				if !f.Write(Token{Seq: i}) {
+					t.Fatal("write failed")
+				}
+			}
+			<-done
+			if mf := f.MaxFill(); mf < 1 || mf > 4 {
+				t.Errorf("MaxFill = %d, want within [1,4]", mf)
+			}
+			if f.Fill() != 0 {
+				t.Errorf("Fill = %d, want 0", f.Fill())
+			}
+		})
+	}
+}
+
+// TestFIFOImplsBlockAtCapacity pins the blocking slow path: a writer
+// into a full FIFO parks until the consumer makes space, a reader on an
+// empty FIFO parks until the producer delivers.
+func TestFIFOImplsBlockAtCapacity(t *testing.T) {
+	for _, impl := range fifoImpls {
+		t.Run(impl.name, func(t *testing.T) {
+			f := impl.mk("c", 2)
+			f.Write(Token{Seq: 1})
+			f.Write(Token{Seq: 2})
+			unblocked := make(chan struct{})
+			go func() {
+				f.Write(Token{Seq: 3}) // full: must park
+				close(unblocked)
+			}()
+			select {
+			case <-unblocked:
+				t.Fatal("write into a full FIFO did not block")
+			case <-time.After(20 * time.Millisecond):
+			}
+			if tok, ok := f.Read(); !ok || tok.Seq != 1 {
+				t.Fatalf("read = %v %v", tok.Seq, ok)
+			}
+			select {
+			case <-unblocked:
+			case <-time.After(2 * time.Second):
+				t.Fatal("parked writer was not woken by the read")
+			}
+
+			// Reader parks on empty, woken by a write.
+			for f.Fill() > 0 {
+				f.Read()
+			}
+			got := make(chan int64, 1)
+			go func() {
+				tok, _ := f.Read()
+				got <- tok.Seq
+			}()
+			time.Sleep(10 * time.Millisecond)
+			f.Write(Token{Seq: 9})
+			select {
+			case seq := <-got:
+				if seq != 9 {
+					t.Fatalf("woken read got %d", seq)
+				}
+			case <-time.After(2 * time.Second):
+				t.Fatal("parked reader was not woken by the write")
+			}
+		})
+	}
+}
+
+// TestFIFOImplsCloseSemantics pins Close across both implementations:
+// blocked writers fail, reads drain the backlog then report closed.
+func TestFIFOImplsCloseSemantics(t *testing.T) {
+	for _, impl := range fifoImpls {
+		t.Run(impl.name, func(t *testing.T) {
+			f := impl.mk("c", 1)
+			writeOK := make(chan bool, 1)
+			go func() {
+				f.Write(Token{Seq: 1})
+				writeOK <- f.Write(Token{Seq: 2}) // full: blocks until close
+			}()
+			time.Sleep(10 * time.Millisecond)
+			f.Close()
+			if <-writeOK {
+				t.Error("blocked write must fail after close")
+			}
+			if tok, ok := f.Read(); !ok || tok.Seq != 1 {
+				t.Errorf("drain read = %v %v", tok.Seq, ok)
+			}
+			if _, ok := f.Read(); ok {
+				t.Error("read after drain on closed FIFO should report !ok")
+			}
+			if f.Write(Token{Seq: 3}) {
+				t.Error("write after close should fail")
+			}
+		})
+	}
+}
+
+// TestFIFOFastPathZeroAllocs pins the 0 allocs/op property of the SPSC
+// ring's non-contended write/read cycle.
+func TestFIFOFastPathZeroAllocs(t *testing.T) {
+	f := NewFIFO("c", 4)
+	tok := Token{Seq: 1, Payload: []byte{1, 2, 3}}
+	f.Write(tok)
+	f.Read()
+	allocs := testing.AllocsPerRun(1000, func() {
+		f.Write(tok)
+		f.Read()
+	})
+	if allocs > 0 {
+		t.Fatalf("%.1f allocs per write/read cycle, want 0", allocs)
+	}
+}
+
+// TestFIFOParkedReaderSeesEveryToken hammers the park/wake handshake
+// from both sides with tiny capacities so the slow path is hit
+// constantly; run under -race this doubles as the memory-model check
+// for the Dekker flags.
+func TestFIFOParkedReaderSeesEveryToken(t *testing.T) {
+	for _, capacity := range []int{1, 2, 3} {
+		f := NewFIFO("c", capacity)
+		const n = 20000
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := int64(1); i <= n; i++ {
+				tok, ok := f.Read()
+				if !ok || tok.Seq != i {
+					t.Errorf("cap %d: read %d got %v ok=%v", capacity, i, tok.Seq, ok)
+					return
+				}
+			}
+		}()
+		for i := int64(1); i <= n; i++ {
+			f.Write(Token{Seq: i})
+		}
+		wg.Wait()
+	}
+}

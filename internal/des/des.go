@@ -11,7 +11,6 @@
 package des
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 )
@@ -30,33 +29,12 @@ type event struct {
 	next *event // freelist link while the event is recycled
 }
 
-// eventHeap orders events by (at, seq).
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
-}
-
 // Kernel is a discrete-event simulator. The zero value is not usable;
 // create kernels with NewKernel.
 type Kernel struct {
 	now     Time
 	seq     uint64
-	events  eventHeap
+	events  eventQueue
 	procs   []*Proc
 	running *Proc  // the process currently executing, nil in kernel context
 	free    *event // freelist of consumed events, reused by push
@@ -93,11 +71,18 @@ func (k *Kernel) emit(kind, proc string) {
 	}
 }
 
-// NewKernel returns an empty simulator at virtual time 0.
+// NewKernel returns an empty simulator at virtual time 0, scheduling
+// through the default event queue (the bucket queue unless the des_heap
+// build tag selects the reference heap).
 func NewKernel() *Kernel {
-	// Preallocate the heap's backing array; typical simulations keep well
-	// under this many events in flight, so the heap itself never grows.
-	return &Kernel{events: make(eventHeap, 0, 64)}
+	return NewKernelWithQueue(defaultQueueKind)
+}
+
+// NewKernelWithQueue returns an empty simulator using an explicit event
+// queue implementation. Both kinds dequeue in identical (time, FIFO)
+// order; the choice affects host performance only.
+func NewKernelWithQueue(kind QueueKind) *Kernel {
+	return &Kernel{events: newQueue(kind)}
 }
 
 // Now returns the current virtual time.
@@ -156,11 +141,10 @@ func (k *Kernel) push(at Time, proc *Proc, fn func()) {
 	e.at, e.proc, e.fn = at, proc, fn
 	e.seq = k.seq
 	k.seq++
-	heap.Push(&k.events, e)
+	k.events.push(e)
 }
 
-// recycle returns a consumed event to the freelist. Only events popped
-// from the heap may be recycled (never the pushed-back run-limit event).
+// recycle returns a consumed (popped) event to the freelist.
 func (k *Kernel) recycle(e *event) {
 	e.proc, e.fn = nil, nil
 	e.next = k.free
@@ -172,14 +156,14 @@ func (k *Kernel) recycle(e *event) {
 // is called. It returns the virtual time at which the simulation settled.
 // A panic inside any process is re-thrown from Run.
 func (k *Kernel) Run(until Time) Time {
-	for !k.stopped && len(k.events) > 0 {
-		e := heap.Pop(&k.events).(*event)
-		if until > 0 && e.at > until {
+	for !k.stopped && k.events.len() > 0 {
+		// Probe first: an event past the limit stays queued untouched, so
+		// a later Run call resumes with the original FIFO order intact.
+		if _, ok := k.events.next(until); !ok {
 			k.now = until
-			// The event is not consumed; push it back for a later Run call.
-			heap.Push(&k.events, e)
 			return k.now
 		}
+		e := k.events.pop()
 		k.now = e.at
 		if e.fn != nil {
 			k.emit("callback", "")

@@ -1,0 +1,7 @@
+//go:build !des_heap
+
+package des
+
+// defaultQueueKind is the event queue NewKernel uses. Build with
+// -tags des_heap to fall back to the reference binary heap.
+const defaultQueueKind = QueueBucket

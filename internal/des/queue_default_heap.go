@@ -1,0 +1,7 @@
+//go:build des_heap
+
+package des
+
+// defaultQueueKind under the des_heap build tag: every kernel schedules
+// through the reference binary heap instead of the bucket queue.
+const defaultQueueKind = QueueHeap

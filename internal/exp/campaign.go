@@ -57,18 +57,18 @@ var campaignApps = []struct {
 // Scenario is one randomized campaign run; it is fully determined by
 // (seed, index), so a campaign can be replayed run by run.
 type Scenario struct {
-	Index     int      `json:"index"`
-	App       string   `json:"app"`
-	MinJitter bool     `json:"min_jitter"`
-	Tokens    int64    `json:"tokens"`
-	Replica   int      `json:"replica"` // first-fault target (1-based)
-	Mode      string   `json:"mode"`
-	ExtraUs   des.Time `json:"extra_us,omitempty"` // degrade only
-	InjectUs  des.Time `json:"inject_us"`
-	DelayUs   des.Time `json:"delay_us"`  // detection -> repair
-	SettleUs  des.Time `json:"settle_us"` // recovery -> second fault
-	SecondMode  string `json:"second_mode"`
-	SecondOther bool   `json:"second_other"` // second fault hits the other replica
+	Index       int      `json:"index"`
+	App         string   `json:"app"`
+	MinJitter   bool     `json:"min_jitter"`
+	Tokens      int64    `json:"tokens"`
+	Replica     int      `json:"replica"` // first-fault target (1-based)
+	Mode        string   `json:"mode"`
+	ExtraUs     des.Time `json:"extra_us,omitempty"` // degrade only
+	InjectUs    des.Time `json:"inject_us"`
+	DelayUs     des.Time `json:"delay_us"`  // detection -> repair
+	SettleUs    des.Time `json:"settle_us"` // recovery -> second fault
+	SecondMode  string   `json:"second_mode"`
+	SecondOther bool     `json:"second_other"` // second fault hits the other replica
 }
 
 var modeByName = map[string]fault.Mode{
@@ -130,7 +130,10 @@ type tokenID struct {
 }
 
 // golden is the cached fault-free reference for one (app, tier) cell.
+// The App value is reused for every run of the cell, so all runs share
+// the cell's payload memo and analytic sizing.
 type golden struct {
+	app    App
 	stream []tokenID
 	sizing Sizing
 }
@@ -160,7 +163,7 @@ func buildGoldens(workers int) (map[goldenKey]*golden, error) {
 		if err != nil {
 			return nil, err
 		}
-		sizing, err := ComputeSizing(app)
+		sizing, err := SizingFor(app)
 		if err != nil {
 			return nil, err
 		}
@@ -181,7 +184,7 @@ func buildGoldens(workers int) (map[goldenKey]*golden, error) {
 		if len(sys.Faults) != 0 {
 			return nil, fmt.Errorf("exp: golden run of %s convicted a replica: %v", c.key.app, sys.Faults)
 		}
-		return &golden{stream: stream, sizing: sizing}, nil
+		return &golden{app: app, stream: stream, sizing: sizing}, nil
 	})
 	if err != nil {
 		return nil, err
@@ -216,10 +219,9 @@ func campaignOne(sc Scenario, g *golden) (CampaignRun, error) {
 		res.Violations = append(res.Violations, fmt.Sprintf(format, args...))
 	}
 
-	app, err := AppByName(sc.App, sc.MinJitter, sc.Tokens)
-	if err != nil {
-		return res, err
-	}
+	// Reuse the cell's App: all runs share its payload memo, so the
+	// deterministic codec work is computed once per cell, not per run.
+	app := g.app
 	var stream []tokenID
 	net, err := app.Build(func(now des.Time, tok kpn.Token) {
 		stream = append(stream, tokenID{tok.Seq, tok.Hash()})
@@ -419,8 +421,8 @@ func Campaign(cfg CampaignConfig, opts ...Option) (*CampaignResult, error) {
 
 	res := &CampaignResult{
 		Runs: cfg.Runs, Seed: cfg.Seed,
-		RunsPerApp:  map[string]int{},
-		RunsPerMode: map[string]int{},
+		RunsPerApp:   map[string]int{},
+		RunsPerMode:  map[string]int{},
 		MinMarginPct: 100,
 	}
 	for _, r := range runs {

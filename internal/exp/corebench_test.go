@@ -1,0 +1,92 @@
+package exp
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestSizingForCaches pins the memoized sizing path: same result as
+// ComputeSizing, computed once per distinct timing envelope.
+func TestSizingForCaches(t *testing.T) {
+	app := MJPEGApp(false, 120)
+	want, err := ComputeSizing(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h0, m0 := SizingCacheStats()
+	got, err := SizingFor(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("SizingFor = %+v, ComputeSizing = %+v", got, want)
+	}
+	// A fresh App value with identical envelopes must hit the cache.
+	if got2, err := SizingFor(MJPEGApp(false, 120)); err != nil || got2 != want {
+		t.Fatalf("cached SizingFor = %+v, %v", got2, err)
+	}
+	h1, m1 := SizingCacheStats()
+	if h1 == h0 {
+		t.Error("second SizingFor with identical envelopes did not hit the cache")
+	}
+	if m1 > m0+1 {
+		t.Errorf("misses grew by %d, want at most 1", m1-m0)
+	}
+	// A different jitter tier is a different configuration.
+	minJ, err := SizingFor(MJPEGApp(true, 120))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMinJ, err := ComputeSizing(MJPEGApp(true, 120))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if minJ != wantMinJ {
+		t.Fatalf("min-jitter SizingFor = %+v, want %+v", minJ, wantMinJ)
+	}
+}
+
+// TestRunCoreBenchSuite smoke-runs the simulation-core suite at a small
+// campaign size and checks the report schema and its identity claims.
+func TestRunCoreBenchSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark suite is slow")
+	}
+	var buf, log bytes.Buffer
+	err := RunCoreBenchSuite(&buf, &log, CoreBenchConfig{CampaignRuns: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep CoreBenchReport
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if !rep.ParallelIdentical {
+		t.Error("campaign output differed across parallelism levels")
+	}
+	names := map[string]bool{}
+	for _, c := range rep.Comparisons {
+		names[c.Name] = true
+	}
+	for _, want := range []string{
+		"des_events_bucket_vs_heap_256t",
+		"crt_fifo_cycle_spsc_vs_locked",
+		"crt_fifo_stream_spsc_vs_locked",
+	} {
+		if !names[want] {
+			t.Errorf("report lacks comparison %q", want)
+		}
+	}
+	// 8 runs cannot match the 1000-run golden: the diff must be skipped
+	// with an explanation, not reported as a pass.
+	if rep.GoldenMatch {
+		t.Error("golden_match true for a non-golden campaign size")
+	}
+	if rep.GoldenNote == "" {
+		t.Error("skipped golden diff carries no note")
+	}
+	if rep.SizingCacheMisses == 0 {
+		t.Error("sizing cache recorded no misses — SizingFor not exercised")
+	}
+}

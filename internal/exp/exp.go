@@ -19,7 +19,11 @@ import (
 )
 
 // App bundles everything the harness needs to run one of the paper's
-// three applications.
+// three applications. Each App value carries its own kpn.PayloadMemo
+// (inside the captured config), so repeated Build calls from the same
+// App — the fault runs of Table 2, the campaign runs of one cell —
+// compute each deterministic stage payload once and share it; build
+// separate App values for workloads that must not share.
 type App struct {
 	Name     string
 	Build    func(sink apps.Sink) (*kpn.Network, error)
@@ -49,6 +53,7 @@ func MJPEGApp(minJitter bool, tokens int64) App {
 	if tokens > 0 {
 		cfg.Frames = tokens
 	}
+	cfg.Memo = kpn.NewPayloadMemo()
 	return App{
 		Name:     "MJPEG Decoder",
 		Build:    func(sink apps.Sink) (*kpn.Network, error) { return apps.MJPEGNetwork(cfg, sink) },
@@ -85,6 +90,7 @@ func ADPCMApp(minJitter bool, tokens int64) App {
 		cfg.Enc.JitterUs = [3]des.Time{50, 50, 50}
 		cfg.Dec.JitterUs = [3]des.Time{50, 50, 50}
 	}
+	cfg.Memo = kpn.NewPayloadMemo()
 	return App{
 		Name:     "ADPCM Application",
 		Build:    func(sink apps.Sink) (*kpn.Network, error) { return apps.ADPCMNetwork(cfg, sink) },
@@ -113,6 +119,7 @@ func H264App(minJitter bool, tokens int64) App {
 		cfg.Enc.JitterUs = [3]des.Time{100, 100, 100}
 		cfg.Mux.JitterUs = [3]des.Time{100, 100, 100}
 	}
+	cfg.Memo = kpn.NewPayloadMemo()
 	return App{
 		Name:     "H.264 Encoder",
 		Build:    func(sink apps.Sink) (*kpn.Network, error) { return apps.H264Network(cfg, sink) },
@@ -142,6 +149,7 @@ func RadarApp(minJitter bool, tokens int64) App {
 		cfg.Env.JitterUs = [3]des.Time{500, 500, 500}
 		cfg.Cfar.JitterUs = [3]des.Time{500, 500, 500}
 	}
+	cfg.Memo = kpn.NewPayloadMemo()
 	return App{
 		Name:     "Radar Chain",
 		Build:    func(sink apps.Sink) (*kpn.Network, error) { return apps.RadarNetwork(cfg, sink) },

@@ -25,7 +25,7 @@ type FillSample struct {
 // while the healthy replica takes over, and the faulty interface's
 // space counter running away after the fault.
 func FillProfile(app App, replica int, samplePeriod des.Time) ([]FillSample, Sizing, error) {
-	sizing, err := ComputeSizing(app)
+	sizing, err := SizingFor(app)
 	if err != nil {
 		return nil, sizing, err
 	}

@@ -29,7 +29,7 @@ import (
 // JSON document to w. The output loads directly in Perfetto or
 // chrome://tracing; timestamps are the simulator's virtual microseconds.
 func WriteChromeTrace(app App, w io.Writer) error {
-	sizing, err := ComputeSizing(app)
+	sizing, err := SizingFor(app)
 	if err != nil {
 		return err
 	}
@@ -129,7 +129,7 @@ func RunObsBenchSuite(w io.Writer, log io.Writer, seedSelNs, seedRepNs int64) er
 
 	logf("obsbench: channel ops, hooks disabled vs metrics hooks...\n")
 	app := MJPEGApp(false, 120)
-	sizing, err := ComputeSizing(app)
+	sizing, err := SizingFor(app)
 	if err != nil {
 		return err
 	}
@@ -182,7 +182,7 @@ func RunObsBenchSuite(w io.Writer, log io.Writer, seedSelNs, seedRepNs int64) er
 // replica `replica`. Shared by the harness-level metric-identity test
 // and the live example.
 func observedRun(app App, replica int, reg *obs.Registry) (*ft.System, *recover.Manager, error) {
-	sizing, err := ComputeSizing(app)
+	sizing, err := SizingFor(app)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -65,7 +65,7 @@ func Table2(app App, runs int, opts ...Option) (*Table2Result, error) {
 		return nil, fmt.Errorf("exp: need at least one run")
 	}
 	cfg := newRunConfig(opts)
-	sizing, err := ComputeSizing(app)
+	sizing, err := SizingFor(app)
 	if err != nil {
 		return nil, err
 	}

@@ -57,7 +57,7 @@ func table3App(name string, runs int, pollUs des.Time, tokens int64, opts ...Opt
 	if err != nil {
 		return Table3Row{}, err
 	}
-	sizing, err := ComputeSizing(app)
+	sizing, err := SizingFor(app)
 	if err != nil {
 		return Table3Row{}, err
 	}

@@ -1,0 +1,104 @@
+package kpn
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"ftpn/internal/des"
+)
+
+// PayloadMemo caches the deterministic payload pipeline of an
+// application across simulation runs. Every producer generator and
+// critical-stage payload function in internal/apps is a pure function of
+// the stream index (fault modes in this repository are timing-only: they
+// stop or slow a replica but never corrupt data), so when an experiment
+// executes the same workload hundreds of times — fault-injection
+// campaigns, Table 2 sweeps — each stage's output for stream index seq
+// is recomputed identically on every run. The memo computes it once and
+// hands every later run (and the second replica within a run) the same
+// read-only byte slice.
+//
+// Correctness: cached slices are exactly the bytes the stage would have
+// produced, so consumer streams — including the Seq+payload-hash golden
+// comparison of the campaign — stay bit-identical. Virtual timing is
+// unaffected: execution-time models draw from the input token size and
+// the per-process RNG, neither of which the memo changes. Callers must
+// treat payloads as immutable (the KPN stages already do — splits slice,
+// merges copy).
+//
+// A nil *PayloadMemo is valid and disables caching.
+type PayloadMemo struct {
+	m      sync.Map // memoKey -> []byte
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// memoKey identifies one stage output in one application's stream.
+type memoKey struct {
+	stage string
+	seq   int64
+}
+
+// NewPayloadMemo returns an empty memo.
+func NewPayloadMemo() *PayloadMemo { return &PayloadMemo{} }
+
+// do returns the cached payload for (stage, seq), computing and caching
+// it via f on a miss. Concurrent first computations of the same key are
+// benign: both produce identical bytes and either slice may win.
+func (m *PayloadMemo) do(stage string, seq int64, compute func() []byte) []byte {
+	key := memoKey{stage, seq}
+	if v, ok := m.m.Load(key); ok {
+		m.hits.Add(1)
+		return v.([]byte)
+	}
+	m.misses.Add(1)
+	out := compute()
+	m.m.Store(key, out)
+	return out
+}
+
+// Stats reports cache hits and misses (for tests and benchmarks).
+func (m *PayloadMemo) Stats() (hits, misses int64) {
+	if m == nil {
+		return 0, 0
+	}
+	return m.hits.Load(), m.misses.Load()
+}
+
+// Gen wraps a producer payload generator with the memo, keyed by the
+// production index. With a nil memo it returns gen unchanged.
+func (m *PayloadMemo) Gen(stage string, gen func(i int64) []byte) func(i int64) []byte {
+	if m == nil || gen == nil {
+		return gen
+	}
+	return func(i int64) []byte {
+		return m.do(stage, i, func() []byte { return gen(i) })
+	}
+}
+
+// MemoTransform is Transform with the payload function memoized by the
+// token's stream index. Unlike Transform, f receives tok.Seq (not the
+// local read counter) as its index argument: the stream index is what
+// determines the payload — a recovered replica's read counter drifts
+// from Seq after an outage, and every stage payload function in
+// internal/apps is index-independent anyway. With a nil memo the
+// behavior is identical to Transform except for that argument.
+func MemoTransform(work WorkModel, seed int64, memo *PayloadMemo, stage string, f func(i int64, payload []byte) []byte) Behavior {
+	if f == nil || memo == nil {
+		return Transform(work, seed, f)
+	}
+	return func(p *des.Proc, in []ReadPort, out []WritePort) {
+		if len(in) != 1 || len(out) != 1 {
+			panic(fmt.Sprintf("kpn: Transform needs 1 input and 1 output, got %d/%d", len(in), len(out)))
+		}
+		rng := rand.New(rand.NewSource(seed))
+		for {
+			tok := in[0].Read(p)
+			p.Delay(work.Duration(rng, tok.Size()))
+			payload := memo.do(stage, tok.Seq, func() []byte { return f(tok.Seq, tok.Payload) })
+			out[0].Write(p, Token{Seq: tok.Seq, Stamp: p.Now(), Payload: payload})
+		}
+	}
+}

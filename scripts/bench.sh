@@ -8,6 +8,12 @@
 #    by checking the PR4_SEED_REV commit out into a throwaway worktree
 #    and parsing the "runtime:" row of its own Table 2 output, so both
 #    sides run on the same host back to back.
+#  - BENCH_PR5.json: simulation-core throughput — bucket-queue scheduler
+#    vs the heap oracle, SPSC channel fast path vs the locked oracle, and
+#    the 1000-run campaign wall-clock against the PR5_SEED_REV worktree
+#    (timed here, fed in via -seed-campaign-ns). The same worktree's DES
+#    benchmarks are diffed against the new tree with benchstat when it is
+#    installed; otherwise both raw outputs are printed.
 # Finishes with the go-bench view of the same targets for eyeballing.
 set -eu
 cd "$(dirname "$0")/.."
@@ -33,6 +39,43 @@ else
 fi
 go run ./cmd/ftpnsim -exp obsbench -out BENCH_PR4.json \
     -seed-sel-ns "${seed_sel:-0}" -seed-rep-ns "${seed_rep:-0}"
+
+echo
+echo "== BENCH_PR5: simulation-core throughput =="
+PR5_SEED_REV=${PR5_SEED_REV:-e403b6e}
+seed_campaign_ns=0
+old_bench=""
+if git rev-parse --verify --quiet "$PR5_SEED_REV^{commit}" >/dev/null; then
+    wt=$(mktemp -d)
+    git worktree add --detach --force "$wt" "$PR5_SEED_REV" >/dev/null
+    (cd "$wt" && go build -o ftpnsim ./cmd/ftpnsim)
+    start=$(date +%s%N)
+    "$wt/ftpnsim" -exp campaign -n 1000 -seed 1 -out /dev/null >/dev/null
+    seed_campaign_ns=$(( $(date +%s%N) - start ))
+    echo "seed ($PR5_SEED_REV): 1000-run campaign took ${seed_campaign_ns}ns"
+    old_bench=$(mktemp)
+    if ! (cd "$wt" && go test -run xxx -bench . -benchmem -count 5 ./internal/des/) >"$old_bench"; then
+        old_bench=""
+    fi
+    git worktree remove --force "$wt" >/dev/null
+else
+    echo "seed revision $PR5_SEED_REV unavailable; skipping seed comparison"
+fi
+go run ./cmd/ftpnsim -exp corebench -n 1000 \
+    -seed-campaign-ns "$seed_campaign_ns" -out BENCH_PR5.json
+if [ -n "$old_bench" ]; then
+    new_bench=$(mktemp)
+    go test -run xxx -bench . -benchmem -count 5 ./internal/des/ >"$new_bench"
+    if command -v benchstat >/dev/null 2>&1; then
+        benchstat "$old_bench" "$new_bench"
+    else
+        echo "benchstat not installed; raw DES benchmark outputs follow"
+        echo "--- seed ($PR5_SEED_REV)"
+        cat "$old_bench"
+        echo "--- this tree"
+        cat "$new_bench"
+    fi
+fi
 
 echo
 echo "== go test -bench view =="
