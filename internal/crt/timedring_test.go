@@ -1,0 +1,76 @@
+package crt
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// tokenRingConformance drives a Token-typed transport through FIFO and
+// SPSC checks — the same contract the des-level conformance suite
+// verifies at int64, here at the payload type the runtimes actually
+// ship.
+func tokenRingConformance(t *testing.T, mk func(capacity int) TimedQueue) {
+	t.Helper()
+
+	t.Run("fifo", func(t *testing.T) {
+		q := mk(4)
+		for i := 0; i < q.Cap(); i++ {
+			ok := q.TryPush(Stamped{At: int64(i), V: Token{Seq: int64(i), Payload: []byte{byte(i)}}})
+			if !ok {
+				t.Fatalf("push %d failed below capacity", i)
+			}
+		}
+		if q.TryPush(Stamped{At: 99}) {
+			t.Fatalf("push into full ring succeeded")
+		}
+		for i := 0; i < q.Cap(); i++ {
+			m, ok := q.TryPop()
+			if !ok || m.At != int64(i) || m.V.Seq != int64(i) || m.V.Payload[0] != byte(i) {
+				t.Fatalf("pop %d = (%v,%v)", i, m, ok)
+			}
+		}
+		if _, ok := q.TryPop(); ok {
+			t.Fatalf("pop from empty ring succeeded")
+		}
+	})
+
+	t.Run("spsc", func(t *testing.T) {
+		total := int64(5000)
+		if testing.Short() {
+			total = 500
+		}
+		q := mk(8)
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := int64(0); i < total; {
+				if q.TryPush(Stamped{At: i, V: Token{Seq: i}}) {
+					i++
+				} else {
+					runtime.Gosched()
+				}
+			}
+		}()
+		for want := int64(0); want < total; {
+			if m, ok := q.TryPop(); ok {
+				if m.At != want || m.V.Seq != want {
+					t.Fatalf("received (%d,%d), want %d", m.At, m.V.Seq, want)
+				}
+				want++
+			} else {
+				runtime.Gosched()
+			}
+		}
+		wg.Wait()
+	})
+}
+
+func TestTokenTimedRingConformance(t *testing.T) {
+	tokenRingConformance(t, func(c int) TimedQueue { return NewTimedRing(c) })
+}
+
+func TestTokenLockedTimedRingConformance(t *testing.T) {
+	tokenRingConformance(t, func(c int) TimedQueue { return NewLockedTimedRing(c) })
+}

@@ -12,7 +12,7 @@ package des
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // Time is an instant or duration of virtual time in ticks (microseconds).
@@ -38,8 +38,9 @@ type Kernel struct {
 	procs   []*Proc
 	running *Proc  // the process currently executing, nil in kernel context
 	free    *event // freelist of consumed events, reused by push
-	stopped bool
-	panicV  any // re-thrown panic from a process
+	stopped    bool
+	panicV     any    // re-thrown panic from a process
+	dispatched uint64 // events consumed across all Run calls
 
 	tracer func(TraceEvent)
 }
@@ -164,6 +165,7 @@ func (k *Kernel) Run(until Time) Time {
 			return k.now
 		}
 		e := k.events.pop()
+		k.dispatched++
 		k.now = e.at
 		if e.fn != nil {
 			k.emit("callback", "")
@@ -205,12 +207,22 @@ func (k *Kernel) Blocked() []string {
 			names = append(names, p.name)
 		}
 	}
-	sort.Strings(names)
+	slices.Sort(names)
 	return names
 }
 
 // NumProcs returns the number of processes ever spawned on the kernel.
 func (k *Kernel) NumProcs() int { return len(k.procs) }
+
+// Pending returns the number of scheduled events not yet dispatched.
+// The shard runner (shard.go) uses it to distinguish an idle kernel
+// from one whose events lie beyond the current horizon.
+func (k *Kernel) Pending() int { return k.events.len() }
+
+// Dispatched returns the total number of events the kernel has
+// consumed across all Run calls — a progress counter for chunked
+// execution and throughput benchmarks.
+func (k *Kernel) Dispatched() uint64 { return k.dispatched }
 
 // Shutdown terminates all process goroutines that have not finished,
 // unwinding their stacks. Call it once after the final Run to avoid

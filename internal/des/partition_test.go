@@ -1,0 +1,129 @@
+package des
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func partSizes(assign []int, parts int) []int {
+	sizes := make([]int, parts)
+	for _, p := range assign {
+		sizes[p]++
+	}
+	return sizes
+}
+
+func TestPartitionBalanced(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(40)
+		parts := 1 + rng.Intn(8)
+		var edges []GraphEdge
+		for i := 0; i < n*2; i++ {
+			edges = append(edges, GraphEdge{rng.Intn(n), rng.Intn(n), int64(1 + rng.Intn(100))})
+		}
+		assign := PartitionGraph(n, edges, parts)
+		if len(assign) != n {
+			t.Fatalf("n=%d parts=%d: assignment length %d", n, parts, len(assign))
+		}
+		eff := parts
+		if eff > n {
+			eff = n
+		}
+		sizes := partSizes(assign, eff)
+		minS, maxS := n, 0
+		for _, s := range sizes {
+			if s < minS {
+				minS = s
+			}
+			if s > maxS {
+				maxS = s
+			}
+		}
+		if minS == 0 {
+			t.Fatalf("n=%d parts=%d: empty part, sizes %v", n, parts, sizes)
+		}
+		if maxS-minS > 1 {
+			t.Fatalf("n=%d parts=%d: imbalance, sizes %v", n, parts, sizes)
+		}
+	}
+}
+
+func TestPartitionDeterministic(t *testing.T) {
+	edges := []GraphEdge{{0, 1, 5}, {1, 2, 7}, {2, 3, 2}, {3, 4, 9}, {4, 5, 1}, {0, 5, 3}}
+	a := PartitionGraph(6, edges, 3)
+	for i := 0; i < 5; i++ {
+		if b := PartitionGraph(6, edges, 3); fmt.Sprint(a) != fmt.Sprint(b) {
+			t.Fatalf("run %d differs: %v vs %v", i, a, b)
+		}
+	}
+}
+
+func TestPartitionChainCut(t *testing.T) {
+	// A uniform-weight pipeline of 8 nodes split in two should cut
+	// exactly one edge: the two halves are contiguous.
+	var edges []GraphEdge
+	for i := 0; i < 7; i++ {
+		edges = append(edges, GraphEdge{i, i + 1, 10})
+	}
+	assign := PartitionGraph(8, edges, 2)
+	if w := CutWeight(edges, assign); w != 10 {
+		t.Fatalf("chain cut weight %d, want 10 (assign %v)", w, assign)
+	}
+}
+
+func TestPartitionPrefersLightCut(t *testing.T) {
+	// Two 3-cliques of heavy edges joined by one light edge: the light
+	// edge must be the cut.
+	heavy := []GraphEdge{
+		{0, 1, 100}, {1, 2, 100}, {0, 2, 100},
+		{3, 4, 100}, {4, 5, 100}, {3, 5, 100},
+		{2, 3, 1},
+	}
+	assign := PartitionGraph(6, heavy, 2)
+	if w := CutWeight(heavy, assign); w != 1 {
+		t.Fatalf("cut weight %d, want 1 (assign %v)", w, assign)
+	}
+}
+
+func TestPartitionClampsParts(t *testing.T) {
+	assign := PartitionGraph(3, nil, 10)
+	sizes := partSizes(assign, 3)
+	for p, s := range sizes {
+		if s != 1 {
+			t.Fatalf("part %d has %d nodes, want 1 (assign %v)", p, s, assign)
+		}
+	}
+	if got := PartitionGraph(4, nil, 0); len(got) != 4 {
+		t.Fatalf("parts=0 assignment %v", got)
+	} else {
+		for _, p := range got {
+			if p != 0 {
+				t.Fatalf("parts=0 should collapse to one part, got %v", got)
+			}
+		}
+	}
+	if got := PartitionGraph(0, nil, 2); got != nil {
+		t.Fatalf("n=0 should return nil, got %v", got)
+	}
+}
+
+func TestPartitionRejectsBadEdges(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic on out-of-range edge")
+		}
+	}()
+	PartitionGraph(3, []GraphEdge{{0, 3, 1}}, 2)
+}
+
+func TestCutWeight(t *testing.T) {
+	edges := []GraphEdge{{0, 1, 4}, {1, 2, 6}, {0, 2, 5}}
+	if w := CutWeight(edges, []int{0, 0, 1}); w != 11 {
+		t.Fatalf("cut weight %d, want 11", w)
+	}
+	if w := CutWeight(edges, []int{0, 0, 0}); w != 0 {
+		t.Fatalf("cut weight %d, want 0", w)
+	}
+}

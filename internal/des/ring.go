@@ -1,0 +1,163 @@
+package des
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Cross-shard message transport: a timestamped single-producer /
+// single-consumer ring plus its mutex-only oracle. The sharded kernel
+// (shard.go) moves tokens between per-core kernels through these rings;
+// the SPSC discipline holds because every cross-shard channel has
+// exactly one writing process (owned by the source shard's runner) and
+// one draining runner (the destination shard). The layout mirrors
+// crt.FIFO: power-of-two buffer, monotonically increasing head/tail
+// counters on separate cache lines, each written by exactly one side.
+//
+// Unlike crt.FIFO the ring never blocks: TryPush/TryPop fail fast and
+// the caller decides how to wait (the shard runner parks through the
+// ShardedKernel's horizon protocol, not on the ring).
+
+// Stamped is a value carrying its virtual delivery time. For
+// cross-shard messages At is the instant the destination kernel must
+// process the value — always strictly beyond the destination's current
+// horizon, which is what makes conservative parallel simulation safe.
+type Stamped[T any] struct {
+	At Time
+	V  T
+}
+
+// TimedQueue is the transport surface shared by the SPSC ring and its
+// locked oracle, so conformance suites and the kpn cross-shard adapter
+// can run against either.
+type TimedQueue[T any] interface {
+	TryPush(Stamped[T]) bool
+	TryPop() (Stamped[T], bool)
+	Len() int
+	Cap() int
+}
+
+// TimedRing is the lock-free SPSC timestamped ring. One goroutine may
+// call TryPush and one other TryPop; Len is safe from either side.
+type TimedRing[T any] struct {
+	mask uint64
+	buf  []Stamped[T]
+
+	// head/tail live on separate cache lines so the producer's tail
+	// stores do not invalidate the consumer's head line and vice versa.
+	_    [64]byte
+	head padUint64 // consumer position: next slot to read
+	_    [64]byte
+	tail padUint64 // producer position: next slot to write
+	_    [64]byte
+}
+
+// padUint64 is an atomic counter; the padding lives in the enclosing
+// struct so the two counters never share a cache line.
+type padUint64 struct{ v atomic.Uint64 }
+
+// NewTimedRing creates a ring with at least the given capacity
+// (rounded up to a power of two). Capacity must be positive.
+func NewTimedRing[T any](capacity int) *TimedRing[T] {
+	if capacity <= 0 {
+		panic("des: TimedRing capacity must be positive")
+	}
+	ring := 1
+	for ring < capacity {
+		ring <<= 1
+	}
+	return &TimedRing[T]{mask: uint64(ring - 1), buf: make([]Stamped[T], ring)}
+}
+
+// TryPush appends m; it reports false when the ring is full.
+func (r *TimedRing[T]) TryPush(m Stamped[T]) bool {
+	t := r.tail.v.Load()
+	if t-r.head.v.Load() > r.mask { // len == cap
+		return false
+	}
+	r.buf[t&r.mask] = m
+	r.tail.v.Store(t + 1)
+	return true
+}
+
+// TryPop removes the oldest message; ok is false when the ring is
+// empty.
+func (r *TimedRing[T]) TryPop() (m Stamped[T], ok bool) {
+	h := r.head.v.Load()
+	if r.tail.v.Load() == h {
+		return m, false
+	}
+	m = r.buf[h&r.mask]
+	r.buf[h&r.mask] = Stamped[T]{} // release any payload reference
+	r.head.v.Store(h + 1)
+	return m, true
+}
+
+// Len returns the current number of queued messages.
+func (r *TimedRing[T]) Len() int {
+	t := r.tail.v.Load()
+	h := r.head.v.Load()
+	if h > t { // head advanced between the two loads
+		return 0
+	}
+	return int(t - h)
+}
+
+// Cap returns the ring's capacity.
+func (r *TimedRing[T]) Cap() int { return int(r.mask) + 1 }
+
+// LockedTimedRing is the mutex-only oracle for TimedRing: identical
+// bounded-queue semantics, any number of goroutines on either end.
+type LockedTimedRing[T any] struct {
+	mu  sync.Mutex
+	cap int
+	q   []Stamped[T]
+}
+
+// NewLockedTimedRing creates a bounded locked queue with the same
+// effective capacity rounding as NewTimedRing.
+func NewLockedTimedRing[T any](capacity int) *LockedTimedRing[T] {
+	if capacity <= 0 {
+		panic("des: LockedTimedRing capacity must be positive")
+	}
+	ring := 1
+	for ring < capacity {
+		ring <<= 1
+	}
+	return &LockedTimedRing[T]{cap: ring}
+}
+
+// TryPush appends m; it reports false when the queue is full.
+func (r *LockedTimedRing[T]) TryPush(m Stamped[T]) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.q) >= r.cap {
+		return false
+	}
+	r.q = append(r.q, m)
+	return true
+}
+
+// TryPop removes the oldest message; ok is false when empty.
+func (r *LockedTimedRing[T]) TryPop() (m Stamped[T], ok bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.q) == 0 {
+		return m, false
+	}
+	m = r.q[0]
+	copy(r.q, r.q[1:])
+	r.q[len(r.q)-1] = Stamped[T]{}
+	r.q = r.q[:len(r.q)-1]
+	return m, true
+}
+
+// Len returns the current number of queued messages.
+func (r *LockedTimedRing[T]) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.q)
+}
+
+// Cap returns the queue's capacity.
+func (r *LockedTimedRing[T]) Cap() int { return r.cap }

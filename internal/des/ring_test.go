@@ -1,0 +1,107 @@
+package des
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// timedQueueConformance drives any TimedQueue implementation through a
+// single-threaded FIFO check and, for the SPSC ring, a two-goroutine
+// transfer under the race detector.
+func timedQueueConformance(t *testing.T, mk func(capacity int) TimedQueue[int64]) {
+	t.Helper()
+
+	t.Run("fifo", func(t *testing.T) {
+		q := mk(8)
+		if _, ok := q.TryPop(); ok {
+			t.Fatalf("pop from empty queue succeeded")
+		}
+		for i := int64(0); i < int64(q.Cap()); i++ {
+			if !q.TryPush(Stamped[int64]{At: i, V: i * 10}) {
+				t.Fatalf("push %d failed below capacity", i)
+			}
+		}
+		if q.TryPush(Stamped[int64]{At: 99, V: 99}) {
+			t.Fatalf("push into full queue succeeded")
+		}
+		if got := q.Len(); got != q.Cap() {
+			t.Fatalf("Len %d, want %d", got, q.Cap())
+		}
+		for i := int64(0); i < int64(q.Cap()); i++ {
+			m, ok := q.TryPop()
+			if !ok || m.At != i || m.V != i*10 {
+				t.Fatalf("pop %d = (%v,%v), want (%d,%d)", i, m, ok, i, i*10)
+			}
+		}
+		if q.Len() != 0 {
+			t.Fatalf("queue not empty after draining")
+		}
+	})
+
+	t.Run("wraparound", func(t *testing.T) {
+		q := mk(4)
+		var next, want int64
+		rng := rand.New(rand.NewSource(3))
+		for step := 0; step < 2000; step++ {
+			if rng.Intn(2) == 0 {
+				if q.TryPush(Stamped[int64]{At: next, V: next}) {
+					next++
+				}
+			} else if m, ok := q.TryPop(); ok {
+				if m.V != want {
+					t.Fatalf("step %d: popped %d, want %d", step, m.V, want)
+				}
+				want++
+			}
+		}
+	})
+
+	t.Run("spsc", func(t *testing.T) {
+		const total = 20000
+		q := mk(16)
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := int64(0); i < total; {
+				if q.TryPush(Stamped[int64]{At: i, V: i}) {
+					i++
+				} else {
+					runtime.Gosched() // single-CPU hosts: let the consumer run
+				}
+			}
+		}()
+		for want := int64(0); want < total; {
+			if m, ok := q.TryPop(); ok {
+				if m.At != want || m.V != want {
+					t.Fatalf("received (%d,%d), want (%d,%d)", m.At, m.V, want, want)
+				}
+				want++
+			} else {
+				runtime.Gosched()
+			}
+		}
+		wg.Wait()
+	})
+}
+
+func TestTimedRingConformance(t *testing.T) {
+	timedQueueConformance(t, func(c int) TimedQueue[int64] { return NewTimedRing[int64](c) })
+}
+
+func TestLockedTimedRingConformance(t *testing.T) {
+	timedQueueConformance(t, func(c int) TimedQueue[int64] { return NewLockedTimedRing[int64](c) })
+}
+
+func TestTimedRingCapacityRounding(t *testing.T) {
+	for _, tc := range []struct{ ask, want int }{{1, 1}, {2, 2}, {3, 4}, {5, 8}, {64, 64}, {100, 128}} {
+		if got := NewTimedRing[int64](tc.ask).Cap(); got != tc.want {
+			t.Fatalf("TimedRing(%d).Cap() = %d, want %d", tc.ask, got, tc.want)
+		}
+		if got := NewLockedTimedRing[int64](tc.ask).Cap(); got != tc.want {
+			t.Fatalf("LockedTimedRing(%d).Cap() = %d, want %d", tc.ask, got, tc.want)
+		}
+	}
+}

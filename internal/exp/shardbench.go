@@ -1,0 +1,337 @@
+package exp
+
+// Sharded-simulation suite behind `ftpnsim -exp shardbench`: measures
+// how a single simulation scales when its process network is split
+// across conservative (Chandy–Misra) kernel shards, and machine-checks
+// the contract the whole design rests on — the sharded run's canonical
+// trace is byte-identical to the single-kernel oracle for every
+// application and every shard count. Emits BENCH_PR6.json.
+//
+// Speedups are honest about the host: parallel gain is bounded by
+// min(shards, host CPUs), and on a single-CPU host a sharded run pays
+// the synchronization protocol with no parallelism to show for it, so
+// the report always records host_cpus next to every ratio.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"ftpn/internal/des"
+	"ftpn/internal/kpn"
+	"ftpn/internal/rtc"
+)
+
+// ShardBenchConfig parameterizes the suite.
+type ShardBenchConfig struct {
+	// Shards are the shard counts to sweep (default 1, 2, 4, 8).
+	Shards []int
+	// Timers is the resident-timer population for the dispatch scaling
+	// benchmark (default 1024).
+	Timers int
+	// Events is the total dispatch count per scaling point (default 400k).
+	Events int64
+	// Tokens is the workload length of the identity runs (default 24).
+	Tokens int64
+}
+
+// ShardScalePoint is one measured shard count.
+type ShardScalePoint struct {
+	Shards       int     `json:"shards"`
+	WallNs       int64   `json:"wall_ns"`
+	Speedup      float64 `json:"speedup_vs_single_kernel"`
+	NullMessages int64   `json:"null_messages"`
+	Grants       int64   `json:"grants"`
+	Parks        int64   `json:"parks"`
+	Drained      int64   `json:"drained"`
+	Identical    bool    `json:"identical,omitempty"`
+}
+
+// ShardIdentityRow is one application's identity matrix.
+type ShardIdentityRow struct {
+	App       string `json:"app"`
+	Processes int    `json:"processes"`
+	Shards    []int  `json:"shards_checked"`
+	Identical bool   `json:"identical"`
+}
+
+// ShardBenchReport is the schema of BENCH_PR6.json.
+type ShardBenchReport struct {
+	GeneratedBy string `json:"generated_by"`
+	GoMaxProcs  int    `json:"go_max_procs"`
+	HostCPUs    int    `json:"host_cpus"`
+	Note        string `json:"note,omitempty"`
+
+	// DispatchBaselineNs is the single plain Kernel's wall-clock for the
+	// same event population the sharded sweep dispatches.
+	DispatchTimers     int               `json:"dispatch_timers"`
+	DispatchEvents     int64             `json:"dispatch_events"`
+	DispatchBaselineNs int64             `json:"dispatch_baseline_ns"`
+	Dispatch           []ShardScalePoint `json:"dispatch_scaling"`
+
+	// Chain is the end-to-end pipeline-network sweep with per-point
+	// trace-identity verification against the sequential oracle.
+	ChainProcesses  int               `json:"chain_processes"`
+	ChainTokens     int64             `json:"chain_tokens"`
+	ChainBaselineNs int64             `json:"chain_baseline_ns"`
+	Chain           []ShardScalePoint `json:"chain_scaling"`
+
+	// Apps is the identity matrix: every application, every shard count.
+	Apps []ShardIdentityRow `json:"app_identity"`
+}
+
+// benchShardDispatch runs `timers` self-rescheduling mixed-period
+// timers distributed over the shards until `events` total dispatches,
+// with the shards synchronized in a link ring so the conservative
+// protocol (windowed advance, null-message publications) is actually
+// exercised. shards == 0 means a plain single Kernel — the baseline.
+func benchShardDispatch(shards, timers int, events int64) (int64, des.ShardStats) {
+	periods := []des.Time{1, 2, 3, 5, 8, 40, 130, 1000, 9000, 100000}
+	if shards == 0 {
+		k := des.NewKernel()
+		var left int64 = events - int64(timers)
+		ticks := make([]func(), timers)
+		for t := 0; t < timers; t++ {
+			per := periods[t%len(periods)]
+			t := t
+			ticks[t] = func() {
+				if left > 0 {
+					left--
+					k.After(per, ticks[t])
+				}
+			}
+		}
+		start := time.Now()
+		for t := 0; t < timers; t++ {
+			k.After(periods[t%len(periods)], ticks[t])
+		}
+		k.Run(0)
+		return time.Since(start).Nanoseconds(), des.ShardStats{}
+	}
+
+	sk := des.NewShardedKernel(shards)
+	if shards > 1 {
+		for i := 0; i < shards; i++ {
+			sk.Connect(i, (i+1)%shards, 500)
+		}
+	}
+	perShard := timers / shards
+	left := make([]int64, shards)
+	for s := 0; s < shards; s++ {
+		n := perShard
+		if s == shards-1 {
+			n = timers - perShard*(shards-1)
+		}
+		left[s] = events/int64(shards) - int64(n)
+		k := sk.Shard(s)
+		ticks := make([]func(), n)
+		for t := 0; t < n; t++ {
+			per := periods[(s*perShard+t)%len(periods)]
+			s, t := s, t
+			ticks[t] = func() {
+				if left[s] > 0 {
+					left[s]--
+					k.After(per, ticks[t])
+				}
+			}
+		}
+		for t := 0; t < n; t++ {
+			k.After(periods[(s*perShard+t)%len(periods)], ticks[t])
+		}
+	}
+	start := time.Now()
+	sk.Run(0)
+	wall := time.Since(start).Nanoseconds()
+	stats := sk.Stats()
+	sk.Shutdown()
+	return wall, stats
+}
+
+// shardChainNet builds a deterministic pipeline network wide enough to
+// partition eight ways: producer -> 6 transforms -> consumer, all
+// channels carrying RTC delay bounds.
+func shardChainNet(tokens int64, rec *[]int64) *kpn.Network {
+	n := &kpn.Network{Name: "shardchain"}
+	n.Procs = append(n.Procs, kpn.ProcessSpec{Name: "P", New: func(int) kpn.Behavior {
+		return kpn.Producer(rtc.PJD{Period: 120, Jitter: 15}, 7, tokens,
+			func(i int64) []byte { return []byte{byte(i), byte(i >> 8)} })
+	}})
+	prev := "P"
+	for i := 0; i < 6; i++ {
+		name := fmt.Sprintf("T%d", i)
+		seed := int64(100 + i)
+		n.Procs = append(n.Procs, kpn.ProcessSpec{Name: name, New: func(int) kpn.Behavior {
+			return kpn.Transform(kpn.WorkModel{BaseUs: 18, JitterUs: 9}, seed,
+				func(j int64, b []byte) []byte { return append(b, byte(j)) })
+		}})
+		n.Chans = append(n.Chans, kpn.ChannelSpec{
+			Name: fmt.Sprintf("c%d", i), From: prev, To: name, Capacity: 8, DelayUs: 40,
+		})
+		prev = name
+	}
+	n.Procs = append(n.Procs, kpn.ProcessSpec{Name: "C", New: func(int) kpn.Behavior {
+		return kpn.Consumer(rtc.PJD{Period: 120, Jitter: 15}, 9, tokens,
+			func(now des.Time, tok kpn.Token) { *rec = append(*rec, tok.Seq) })
+	}})
+	n.Chans = append(n.Chans, kpn.ChannelSpec{
+		Name: "cout", From: prev, To: "C", Capacity: 8, DelayUs: 40,
+	})
+	return n
+}
+
+// runNetSequential instantiates net on one plain kernel and returns its
+// canonical trace and wall-clock.
+func runNetSequential(net *kpn.Network) ([]byte, int64, error) {
+	k := des.NewKernel()
+	tc := des.NewTraceCollector()
+	tc.Attach(k)
+	if _, err := net.Instantiate(k, kpn.Options{}); err != nil {
+		return nil, 0, err
+	}
+	start := time.Now()
+	k.Run(0)
+	wall := time.Since(start).Nanoseconds()
+	k.Shutdown()
+	return tc.Bytes(), wall, nil
+}
+
+// runNetSharded partitions net across the given shard count and returns
+// the canonical trace, wall-clock and protocol stats.
+func runNetSharded(net *kpn.Network, shards int) ([]byte, int64, des.ShardStats, error) {
+	plan, err := kpn.PartitionNetwork(net, shards)
+	if err != nil {
+		return nil, 0, des.ShardStats{}, err
+	}
+	sk := des.NewShardedKernel(plan.Shards)
+	tc := des.NewTraceCollector()
+	for i := 0; i < sk.NumShards(); i++ {
+		tc.Attach(sk.Shard(i))
+	}
+	if _, err := net.InstantiateSharded(sk, plan, kpn.Options{}); err != nil {
+		return nil, 0, des.ShardStats{}, err
+	}
+	start := time.Now()
+	sk.Run(0)
+	wall := time.Since(start).Nanoseconds()
+	stats := sk.Stats()
+	sk.Shutdown()
+	return tc.Bytes(), wall, stats, nil
+}
+
+// RunShardBenchSuite measures the suite and writes the JSON report to w.
+func RunShardBenchSuite(w io.Writer, log io.Writer, cfg ShardBenchConfig) error {
+	logf := func(format string, args ...any) {
+		if log != nil {
+			fmt.Fprintf(log, format, args...)
+		}
+	}
+	if len(cfg.Shards) == 0 {
+		cfg.Shards = []int{1, 2, 4, 8}
+	}
+	if cfg.Timers <= 0 {
+		cfg.Timers = 1024
+	}
+	if cfg.Events <= 0 {
+		cfg.Events = 400_000
+	}
+	if cfg.Tokens <= 0 {
+		cfg.Tokens = 24
+	}
+	rep := ShardBenchReport{
+		GeneratedBy:    "ftpnsim -exp shardbench",
+		GoMaxProcs:     runtime.GOMAXPROCS(0),
+		HostCPUs:       runtime.NumCPU(),
+		DispatchTimers: cfg.Timers,
+		DispatchEvents: cfg.Events,
+		ChainTokens:    cfg.Tokens * 12, // longer workload so protocol cost amortizes
+	}
+	if rep.HostCPUs < 4 {
+		rep.Note = fmt.Sprintf("host has %d CPU(s): parallel speedup is bounded by min(shards, host_cpus); on a single-CPU host the sweep measures protocol overhead, not parallelism", rep.HostCPUs)
+	}
+
+	// --- Dispatch scaling: resident-timer population split over shards. ---
+	logf("shardbench: dispatch baseline, %d timers, %d events on one kernel...\n", cfg.Timers, cfg.Events)
+	base, _ := benchShardDispatch(0, cfg.Timers, cfg.Events)
+	rep.DispatchBaselineNs = base
+	for _, s := range cfg.Shards {
+		logf("shardbench: dispatch on %d shard(s)...\n", s)
+		wall, stats := benchShardDispatch(s, cfg.Timers, cfg.Events)
+		rep.Dispatch = append(rep.Dispatch, ShardScalePoint{
+			Shards: s, WallNs: wall, Speedup: ratio(base, wall),
+			NullMessages: stats.NullMessages, Grants: stats.Grants,
+			Parks: stats.Parks, Drained: stats.Drained,
+		})
+	}
+
+	// --- Pipeline-network scaling with per-point identity. ---
+	var seqSink []int64
+	seqNet := shardChainNet(rep.ChainTokens, &seqSink)
+	rep.ChainProcesses = len(seqNet.Procs)
+	logf("shardbench: chain baseline, %d processes, %d tokens...\n", rep.ChainProcesses, rep.ChainTokens)
+	oracle, chainBase, err := runNetSequential(seqNet)
+	if err != nil {
+		return err
+	}
+	rep.ChainBaselineNs = chainBase
+	for _, s := range cfg.Shards {
+		logf("shardbench: chain on %d shard(s)...\n", s)
+		var sink []int64
+		trace, wall, stats, err := runNetSharded(shardChainNet(rep.ChainTokens, &sink), s)
+		if err != nil {
+			return err
+		}
+		rep.Chain = append(rep.Chain, ShardScalePoint{
+			Shards: s, WallNs: wall, Speedup: ratio(chainBase, wall),
+			NullMessages: stats.NullMessages, Grants: stats.Grants,
+			Parks: stats.Parks, Drained: stats.Drained,
+			Identical: bytes.Equal(trace, oracle),
+		})
+		if !bytes.Equal(trace, oracle) {
+			return fmt.Errorf("shardbench: chain trace at %d shards diverged from the sequential oracle", s)
+		}
+	}
+
+	// --- Application identity matrix: every app, shard counts 1..8. ---
+	for _, name := range []string{"mjpeg", "adpcm", "h264", "radar"} {
+		app, err := AppByName(name, false, cfg.Tokens)
+		if err != nil {
+			return err
+		}
+		logf("shardbench: identity matrix for %s (%d tokens)...\n", name, cfg.Tokens)
+		seq, err := app.Build(nil)
+		if err != nil {
+			return err
+		}
+		seq = seq.WithDelays(50)
+		oracle, _, err := runNetSequential(seq)
+		if err != nil {
+			return err
+		}
+		row := ShardIdentityRow{App: name, Processes: len(seq.Procs), Identical: true}
+		for s := 1; s <= 8; s++ {
+			net, err := app.Build(nil)
+			if err != nil {
+				return err
+			}
+			trace, _, _, err := runNetSharded(net.WithDelays(50), s)
+			if err != nil {
+				return err
+			}
+			row.Shards = append(row.Shards, s)
+			if !bytes.Equal(trace, oracle) {
+				row.Identical = false
+			}
+		}
+		rep.Apps = append(rep.Apps, row)
+		if !row.Identical {
+			return fmt.Errorf("shardbench: %s sharded trace diverged from the sequential oracle", name)
+		}
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

@@ -1,0 +1,52 @@
+package exp
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestShardBenchSuiteSmoke runs the suite at reduced size and checks
+// the report invariants: identity verified at every chain point and for
+// every app, and the protocol actually exchanged cross-shard messages.
+func TestShardBenchSuiteSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := ShardBenchConfig{Shards: []int{1, 2, 4}, Timers: 64, Events: 20_000, Tokens: 6}
+	if testing.Short() {
+		cfg.Shards = []int{1, 2}
+	}
+	if err := RunShardBenchSuite(&buf, nil, cfg); err != nil {
+		t.Fatalf("suite: %v", err)
+	}
+	var rep ShardBenchReport
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if rep.DispatchBaselineNs <= 0 || len(rep.Dispatch) != len(cfg.Shards) {
+		t.Fatalf("dispatch section incomplete: %+v", rep)
+	}
+	var drained int64
+	for _, pt := range rep.Chain {
+		if !pt.Identical {
+			t.Fatalf("chain at %d shards not identical", pt.Shards)
+		}
+		drained += pt.Drained
+	}
+	if drained == 0 {
+		t.Fatalf("chain sweep drained no cross-shard messages")
+	}
+	if len(rep.Apps) != 4 {
+		t.Fatalf("app identity matrix has %d rows, want 4", len(rep.Apps))
+	}
+	for _, row := range rep.Apps {
+		if !row.Identical {
+			t.Fatalf("app %s not identical across shard counts", row.App)
+		}
+		if len(row.Shards) != 8 {
+			t.Fatalf("app %s checked %v, want shard counts 1..8", row.App, row.Shards)
+		}
+	}
+	if rep.HostCPUs <= 0 {
+		t.Fatalf("host_cpus missing")
+	}
+}

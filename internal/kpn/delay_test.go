@@ -1,0 +1,144 @@
+package kpn
+
+import (
+	"testing"
+
+	"ftpn/internal/des"
+)
+
+func TestDelayedFIFOVisibility(t *testing.T) {
+	k := des.NewKernel()
+	f := NewDelayedFIFO(k, "D", 4, 5)
+
+	var got []des.Time
+	k.Spawn("reader", 0, func(p *des.Proc) {
+		for i := 0; i < 2; i++ {
+			tok := f.Read(p)
+			got = append(got, p.Now())
+			if tok.Seq != int64(i+1) {
+				t.Errorf("read %d: Seq %d", i, tok.Seq)
+			}
+		}
+	})
+	k.Spawn("writer", 0, func(p *des.Proc) {
+		p.Delay(10)
+		f.Write(p, Token{Seq: 1}) // matures at 15
+		f.Write(p, Token{Seq: 2}) // matures at 15 too
+	})
+	k.Run(0)
+
+	if len(got) != 2 || got[0] != 15 || got[1] != 15 {
+		t.Fatalf("read instants %v, want [15 15]", got)
+	}
+	if f.Reads() != 2 || f.Writes() != 2 {
+		t.Fatalf("counters reads=%d writes=%d, want 2/2", f.Reads(), f.Writes())
+	}
+	if f.Fill() != 0 || f.Queued() != 0 {
+		t.Fatalf("fill=%d queued=%d after drain", f.Fill(), f.Queued())
+	}
+	k.Shutdown()
+}
+
+// A reader arriving at the maturity instant through its own timer — not
+// through the wakeup callback — must see the token: visibility is by
+// value, not by event order.
+func TestDelayedFIFOVisibilityByValue(t *testing.T) {
+	k := des.NewKernel()
+	f := NewDelayedFIFO(k, "D", 4, 7)
+	f.Deliver(7, Token{Seq: 1}) // matures at 7
+
+	sawAt := des.Time(-1)
+	k.Spawn("poller", 0, func(p *des.Proc) {
+		p.Delay(7) // arrives at t=7 independently of the maturity callback
+		if f.Fill() != 1 {
+			t.Errorf("fill at t=7 is %d, want 1 (value visibility)", f.Fill())
+		}
+		f.Read(p)
+		sawAt = p.Now()
+	})
+	k.Run(0)
+	if sawAt != 7 {
+		t.Fatalf("read completed at %d, want 7", sawAt)
+	}
+	k.Shutdown()
+}
+
+func TestDelayedFIFOPreload(t *testing.T) {
+	k := des.NewKernel()
+	f := NewDelayedFIFO(k, "D", 4, 3)
+	f.Preload([]Token{{Seq: -1}, {Seq: 0}})
+	if f.Fill() != 2 {
+		t.Fatalf("preloaded fill %d, want 2 (visible at time 0)", f.Fill())
+	}
+	var seqs []int64
+	k.Spawn("reader", 0, func(p *des.Proc) {
+		seqs = append(seqs, f.Read(p).Seq, f.Read(p).Seq)
+	})
+	k.Run(0)
+	if len(seqs) != 2 || seqs[0] != -1 || seqs[1] != 0 {
+		t.Fatalf("read %v, want [-1 0]", seqs)
+	}
+	k.Shutdown()
+}
+
+func TestDelayedFIFODeliverRejectsReorder(t *testing.T) {
+	k := des.NewKernel()
+	f := NewDelayedFIFO(k, "D", 4, 3)
+	f.Deliver(10, Token{Seq: 1})
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("out-of-order Deliver did not panic")
+		}
+	}()
+	f.Deliver(9, Token{Seq: 2})
+}
+
+func TestDelayedFIFOConstructorValidation(t *testing.T) {
+	k := des.NewKernel()
+	for _, tc := range []struct{ cap, delay int }{{0, 5}, {4, 0}, {4, -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewDelayedFIFO(cap=%d, delay=%d) did not panic", tc.cap, tc.delay)
+				}
+			}()
+			NewDelayedFIFO(k, "bad", tc.cap, des.Time(tc.delay))
+		}()
+	}
+}
+
+type fillObs struct {
+	writes, reads []int // fill levels observed
+}
+
+func (o *fillObs) OnWrite(now des.Time, tok Token, fill int) { o.writes = append(o.writes, fill) }
+func (o *fillObs) OnRead(now des.Time, tok Token, fill int)  { o.reads = append(o.reads, fill) }
+
+func TestDelayedFIFOObserversAndMaxFill(t *testing.T) {
+	k := des.NewKernel()
+	f := NewDelayedFIFO(k, "D", 8, 2)
+	obs := &fillObs{}
+	f.Observe(obs)
+
+	k.Spawn("writer", 0, func(p *des.Proc) {
+		f.Write(p, Token{Seq: 1})
+		f.Write(p, Token{Seq: 2}) // both mature at 2
+		p.Delay(10)
+		f.Write(p, Token{Seq: 3}) // matures at 12
+	})
+	k.Spawn("reader", 0, func(p *des.Proc) {
+		p.Delay(5)
+		f.Read(p)
+		f.Read(p)
+		f.Read(p)
+	})
+	k.Run(0)
+
+	if f.MaxFill() != 2 {
+		t.Fatalf("MaxFill %d, want 2", f.MaxFill())
+	}
+	if len(obs.writes) != 3 || len(obs.reads) != 3 {
+		t.Fatalf("observer saw %d writes / %d reads, want 3/3", len(obs.writes), len(obs.reads))
+	}
+	k.Shutdown()
+}

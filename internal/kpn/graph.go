@@ -59,6 +59,13 @@ type ChannelSpec struct {
 	// TokenBytes is the nominal payload size used for SCC transfer-time
 	// modeling when tokens carry no real payload.
 	TokenBytes int
+	// DelayUs, when positive, gives the channel RTC delay-bound
+	// semantics: tokens become visible to the reader DelayUs ticks
+	// after the write (DelayedFIFO). A positive delay is also the
+	// static lookahead that lets a partitioner cut the channel across
+	// shards for parallel simulation; zero-delay channels can only
+	// live inside one shard.
+	DelayUs des.Time
 }
 
 // Network is a declarative process-network graph. It can be instantiated
@@ -111,8 +118,23 @@ func (n *Network) Validate() error {
 		if c.InitialTokens < 0 || c.InitialTokens > c.Capacity {
 			return fmt.Errorf("kpn: channel %q initial fill %d outside [0,%d]", c.Name, c.InitialTokens, c.Capacity)
 		}
+		if c.DelayUs < 0 {
+			return fmt.Errorf("kpn: channel %q delay must be non-negative, got %d", c.Name, c.DelayUs)
+		}
 	}
 	return nil
+}
+
+// WithDelays returns a copy of the network with every channel's
+// DelayUs set to us — a uniform RTC delay bound. It is how a
+// zero-delay reference network is prepared for sharded simulation.
+func (n *Network) WithDelays(us des.Time) *Network {
+	cp := *n
+	cp.Chans = append([]ChannelSpec(nil), n.Chans...)
+	for i := range cp.Chans {
+		cp.Chans[i].DelayUs = us
+	}
+	return &cp
 }
 
 // Proc returns the spec of the named process, or nil.
@@ -162,12 +184,25 @@ type Options struct {
 }
 
 // Instance is an instantiated network: live FIFOs and spawned processes
-// on a kernel.
+// on a kernel. Channels with a positive DelayUs live in Delayed, the
+// rest in FIFOs.
 type Instance struct {
-	Net   *Network
-	K     *des.Kernel
-	FIFOs map[string]*FIFO
-	Cores map[string]*scc.Core
+	Net     *Network
+	K       *des.Kernel
+	FIFOs   map[string]*FIFO
+	Delayed map[string]*DelayedFIFO
+	Cores   map[string]*scc.Core
+}
+
+// port returns the named channel's endpoint, whichever kind it is.
+func (inst *Instance) port(name string) interface {
+	ReadPort
+	WritePort
+} {
+	if f, ok := inst.FIFOs[name]; ok {
+		return f
+	}
+	return inst.Delayed[name]
 }
 
 // Instantiate builds the network's FIFOs, binds ports (wrapping writes
@@ -177,7 +212,12 @@ func (n *Network) Instantiate(k *des.Kernel, opt Options) (*Instance, error) {
 	if err := n.Validate(); err != nil {
 		return nil, err
 	}
-	inst := &Instance{Net: n, K: k, FIFOs: make(map[string]*FIFO), Cores: make(map[string]*scc.Core)}
+	inst := &Instance{
+		Net: n, K: k,
+		FIFOs:   make(map[string]*FIFO),
+		Delayed: make(map[string]*DelayedFIFO),
+		Cores:   make(map[string]*scc.Core),
+	}
 
 	if opt.Chip != nil {
 		if opt.Placement != nil {
@@ -200,26 +240,33 @@ func (n *Network) Instantiate(k *des.Kernel, opt Options) (*Instance, error) {
 	}
 
 	for _, c := range n.Chans {
-		f := NewFIFO(k, c.Name, c.Capacity)
+		if c.DelayUs > 0 {
+			inst.Delayed[c.Name] = NewDelayedFIFO(k, c.Name, c.Capacity, c.DelayUs)
+		} else {
+			inst.FIFOs[c.Name] = NewFIFO(k, c.Name, c.Capacity)
+		}
 		if c.InitialTokens > 0 {
 			toks := make([]Token, c.InitialTokens)
 			for i := range toks {
 				toks[i] = Token{Seq: int64(i) - int64(c.InitialTokens) + 1} // ..., -1, 0
 			}
-			f.Preload(toks)
+			if f, ok := inst.FIFOs[c.Name]; ok {
+				f.Preload(toks)
+			} else {
+				inst.Delayed[c.Name].Preload(toks)
+			}
 		}
-		inst.FIFOs[c.Name] = f
 	}
 
 	for _, ps := range n.Procs {
 		behavior := ps.New(opt.Replica)
 		var ins []ReadPort
 		for _, c := range n.Inputs(ps.Name) {
-			ins = append(ins, inst.FIFOs[c.Name])
+			ins = append(ins, inst.port(c.Name))
 		}
 		var outs []WritePort
 		for _, c := range n.Outputs(ps.Name) {
-			var port WritePort = inst.FIFOs[c.Name]
+			var port WritePort = inst.port(c.Name)
 			if opt.Chip != nil {
 				port = WithTransfer(port, opt.Chip, inst.Cores[c.From], inst.Cores[c.To], c.TokenBytes)
 			}

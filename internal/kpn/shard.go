@@ -1,0 +1,300 @@
+package kpn
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+
+	"ftpn/internal/des"
+)
+
+// Sharded instantiation: place a process network onto the shards of a
+// des.ShardedKernel so one simulation runs on several cores under the
+// conservative (Chandy–Misra) protocol. The partitioner cuts only
+// channels that carry a positive RTC delay bound (ChannelSpec.DelayUs)
+// — the delay is the lookahead that keeps the protocol deadlock-free —
+// and the cut channels keep their exact sequential semantics because
+// both sides use the same value-visibility DelayedFIFO. A single-kernel
+// Instantiate of the same network is therefore a bit-identical oracle
+// for any shard count.
+
+// zeroDelayWeight makes cutting a zero-delay channel effectively
+// infinitely expensive for the partitioner: any partition that avoids
+// zero-delay cuts beats any that does not.
+const zeroDelayWeight = int64(1) << 40
+
+// ShardPlan maps every process of a network to a shard index.
+type ShardPlan struct {
+	// Shards is the number of shards the plan targets (after clamping
+	// to the process count).
+	Shards int
+	// Assign maps process name to shard index in [0, Shards).
+	Assign map[string]int
+}
+
+// DefaultShardCount picks the shard count used when the caller does
+// not force one: the machine's parallelism, clamped to the network's
+// width (there is no point in more shards than processes).
+func DefaultShardCount(n *Network) int {
+	c := runtime.GOMAXPROCS(0)
+	if w := len(n.Procs); w < c {
+		c = w
+	}
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// PartitionNetwork splits the network's processes into the requested
+// number of balanced shards, minimizing cut channel traffic (weighted
+// by TokenBytes). Channels without a delay bound cannot legally cross
+// shards — they provide no lookahead — so they carry a prohibitive
+// weight; if even then a zero-delay channel ends up cut, the topology
+// cannot be sharded at that width and an error names the channels (use
+// Network.WithDelays or fewer shards).
+func PartitionNetwork(n *Network, shards int) (ShardPlan, error) {
+	if err := n.Validate(); err != nil {
+		return ShardPlan{}, err
+	}
+	if len(n.Procs) == 0 {
+		return ShardPlan{}, fmt.Errorf("kpn: network %q has no processes to partition", n.Name)
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > len(n.Procs) {
+		shards = len(n.Procs)
+	}
+
+	idx := make(map[string]int, len(n.Procs))
+	for i, p := range n.Procs {
+		idx[p.Name] = i
+	}
+	edges := make([]des.GraphEdge, 0, len(n.Chans))
+	for _, c := range n.Chans {
+		w := int64(c.TokenBytes)
+		if w < 1 {
+			w = 1
+		}
+		if c.DelayUs <= 0 {
+			w = zeroDelayWeight
+		}
+		edges = append(edges, des.GraphEdge{A: idx[c.From], B: idx[c.To], Weight: w})
+	}
+	assign := des.PartitionGraph(len(n.Procs), edges, shards)
+
+	var bad []string
+	for _, c := range n.Chans {
+		if c.DelayUs <= 0 && assign[idx[c.From]] != assign[idx[c.To]] {
+			bad = append(bad, fmt.Sprintf("%s (%s->%s)", c.Name, c.From, c.To))
+		}
+	}
+	if len(bad) > 0 {
+		return ShardPlan{}, fmt.Errorf(
+			"kpn: network %q cannot run on %d shards: zero-delay channels %s would cross shards and provide no lookahead; give them RTC delay bounds (Network.WithDelays) or use fewer shards",
+			n.Name, shards, strings.Join(bad, ", "))
+	}
+
+	plan := ShardPlan{Shards: shards, Assign: make(map[string]int, len(n.Procs))}
+	for name, i := range idx {
+		plan.Assign[name] = assign[i]
+	}
+	return plan, nil
+}
+
+// ShardedInstance is a network instantiated across the shards of a
+// ShardedKernel.
+type ShardedInstance struct {
+	Net  *Network
+	SK   *des.ShardedKernel
+	Plan ShardPlan
+	// FIFOs and Delayed hold the channel endpoints by name. A cut
+	// channel appears in Delayed (its receiver side); its writer port
+	// is a cross-shard adapter not exposed here.
+	FIFOs   map[string]*FIFO
+	Delayed map[string]*DelayedFIFO
+	// Links holds the synchronization edge per connected (src,dst)
+	// shard pair.
+	Links map[[2]int]*des.Link
+	// Cut lists the names of channels that cross shards.
+	Cut []string
+}
+
+// shardWriter is the write side of a cut channel: it stamps the token
+// with its maturity instant (source-local now + the channel delay) and
+// pushes it onto the link's SPSC transport. The push spins only when
+// the ring is full; StallWake gets the destination draining.
+type shardWriter struct {
+	name  string
+	delay des.Time
+	ring  *des.TimedRing[Token]
+	link  *des.Link
+}
+
+func (w *shardWriter) PortName() string { return w.name }
+
+func (w *shardWriter) Write(p *des.Proc, tok Token) {
+	at := p.Now() + w.delay
+	for !w.ring.TryPush(des.Stamped[Token]{At: at, V: tok}) {
+		w.link.StallWake()
+		runtime.Gosched()
+	}
+	w.link.NotifySent()
+}
+
+// InstantiateSharded places the network onto sk according to plan:
+// local channels become ordinary FIFOs (or DelayedFIFOs when they
+// carry a delay bound) on their shard's kernel, cut channels become a
+// receiver-side DelayedFIFO fed through an SPSC ring, and each
+// connected shard pair gets one synchronization Link whose lookahead
+// is the minimum delay among the pair's cut channels. Attach any
+// TraceCollectors to the shard kernels before calling this — spawns
+// are trace events.
+//
+// SCC placement (Options.Chip) is not supported in sharded mode.
+func (n *Network) InstantiateSharded(sk *des.ShardedKernel, plan ShardPlan, opt Options) (*ShardedInstance, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	if opt.Chip != nil {
+		return nil, fmt.Errorf("kpn: sharded instantiation does not support SCC placement")
+	}
+	if sk.NumShards() != plan.Shards {
+		return nil, fmt.Errorf("kpn: kernel has %d shards but plan wants %d", sk.NumShards(), plan.Shards)
+	}
+	for _, p := range n.Procs {
+		s, ok := plan.Assign[p.Name]
+		if !ok {
+			return nil, fmt.Errorf("kpn: shard plan missing process %q", p.Name)
+		}
+		if s < 0 || s >= plan.Shards {
+			return nil, fmt.Errorf("kpn: process %q assigned to shard %d outside [0,%d)", p.Name, s, plan.Shards)
+		}
+	}
+
+	inst := &ShardedInstance{
+		Net: n, SK: sk, Plan: plan,
+		FIFOs:   make(map[string]*FIFO),
+		Delayed: make(map[string]*DelayedFIFO),
+		Links:   make(map[[2]int]*des.Link),
+	}
+
+	// Synchronization links first: one per connected shard pair,
+	// lookahead = min delay among the pair's cut channels. Deterministic
+	// order for reproducible Link layout.
+	minLook := make(map[[2]int]des.Time)
+	for _, c := range n.Chans {
+		src, dst := plan.Assign[c.From], plan.Assign[c.To]
+		if src == dst {
+			continue
+		}
+		if c.DelayUs <= 0 {
+			return nil, fmt.Errorf("kpn: channel %q crosses shards without a delay bound", c.Name)
+		}
+		key := [2]int{src, dst}
+		if l, ok := minLook[key]; !ok || c.DelayUs < l {
+			minLook[key] = c.DelayUs
+		}
+	}
+	pairs := make([][2]int, 0, len(minLook))
+	for k := range minLook {
+		pairs = append(pairs, k)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i][0] != pairs[j][0] {
+			return pairs[i][0] < pairs[j][0]
+		}
+		return pairs[i][1] < pairs[j][1]
+	})
+	for _, key := range pairs {
+		inst.Links[key] = sk.Connect(key[0], key[1], minLook[key])
+	}
+
+	// Channels. Cut channels live on the receiver shard; the writer
+	// port is a cross-shard adapter whose ring is drained into the
+	// receiver-side DelayedFIFO between Run slices.
+	writers := make(map[string]WritePort, len(n.Chans))
+	for _, c := range n.Chans {
+		src, dst := plan.Assign[c.From], plan.Assign[c.To]
+		if src == dst {
+			k := sk.Shard(dst)
+			if c.DelayUs > 0 {
+				df := NewDelayedFIFO(k, c.Name, c.Capacity, c.DelayUs)
+				inst.Delayed[c.Name] = df
+				writers[c.Name] = df
+			} else {
+				f := NewFIFO(k, c.Name, c.Capacity)
+				inst.FIFOs[c.Name] = f
+				writers[c.Name] = f
+			}
+			continue
+		}
+		inst.Cut = append(inst.Cut, c.Name)
+		link := inst.Links[[2]int{src, dst}]
+		df := NewDelayedFIFO(sk.Shard(dst), c.Name, c.Capacity, c.DelayUs)
+		inst.Delayed[c.Name] = df
+		ringCap := c.Capacity * 2
+		if ringCap < 64 {
+			ringCap = 64
+		}
+		ring := des.NewTimedRing[Token](ringCap)
+		writers[c.Name] = &shardWriter{name: c.Name, delay: c.DelayUs, ring: ring, link: link}
+		sk.RegisterDrain(dst, func(k *des.Kernel) int64 {
+			var got int64
+			for {
+				m, ok := ring.TryPop()
+				if !ok {
+					break
+				}
+				df.Deliver(m.At, m.V)
+				got++
+			}
+			if got > 0 {
+				link.NotifyDrained(got)
+			}
+			return got
+		})
+	}
+
+	// Initial fills, same Seq convention as Instantiate.
+	for _, c := range n.Chans {
+		if c.InitialTokens == 0 {
+			continue
+		}
+		toks := make([]Token, c.InitialTokens)
+		for i := range toks {
+			toks[i] = Token{Seq: int64(i) - int64(c.InitialTokens) + 1} // ..., -1, 0
+		}
+		if f, ok := inst.FIFOs[c.Name]; ok {
+			f.Preload(toks)
+		} else {
+			inst.Delayed[c.Name].Preload(toks)
+		}
+	}
+
+	// Processes, each on its assigned shard. Readers always see the
+	// channel's receiver-side endpoint; writers see the local endpoint
+	// or the cross-shard adapter.
+	for _, ps := range n.Procs {
+		behavior := ps.New(opt.Replica)
+		k := sk.Shard(plan.Assign[ps.Name])
+		var ins []ReadPort
+		for _, c := range n.Inputs(ps.Name) {
+			if f, ok := inst.FIFOs[c.Name]; ok {
+				ins = append(ins, f)
+			} else {
+				ins = append(ins, inst.Delayed[c.Name])
+			}
+		}
+		var outs []WritePort
+		for _, c := range n.Outputs(ps.Name) {
+			outs = append(outs, writers[c.Name])
+		}
+		k.Spawn(ps.Name, 0, func(p *des.Proc) { behavior(p, ins, outs) })
+	}
+	return inst, nil
+}
+
+var _ WritePort = (*shardWriter)(nil)

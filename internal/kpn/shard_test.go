@@ -1,0 +1,329 @@
+package kpn
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"strings"
+	"testing"
+
+	"ftpn/internal/des"
+	"ftpn/internal/rtc"
+)
+
+func TestDefaultShardCount(t *testing.T) {
+	wide := &Network{Name: "wide"}
+	for i := 0; i < 64; i++ {
+		wide.Procs = append(wide.Procs, ProcessSpec{Name: fmt.Sprintf("p%d", i)})
+	}
+	if got, want := DefaultShardCount(wide), runtime.GOMAXPROCS(0); got != want {
+		t.Fatalf("DefaultShardCount(wide) = %d, want GOMAXPROCS %d", got, want)
+	}
+	narrow := &Network{Name: "narrow", Procs: []ProcessSpec{{Name: "a"}, {Name: "b"}}}
+	if got := DefaultShardCount(narrow); got > 2 || got < 1 {
+		t.Fatalf("DefaultShardCount(narrow) = %d, want in [1,2]", got)
+	}
+}
+
+// testChain builds src -> t1 -> ... -> tk -> dst with the given channel
+// delays (0 = plain FIFO).
+func testChain(name string, nprocs int, delay des.Time) *Network {
+	n := &Network{Name: name}
+	beh := func(int) Behavior { return func(p *des.Proc, in []ReadPort, out []WritePort) {} }
+	for i := 0; i < nprocs; i++ {
+		n.Procs = append(n.Procs, ProcessSpec{Name: fmt.Sprintf("p%d", i), New: beh})
+	}
+	for i := 0; i+1 < nprocs; i++ {
+		n.Chans = append(n.Chans, ChannelSpec{
+			Name: fmt.Sprintf("c%d", i),
+			From: fmt.Sprintf("p%d", i), To: fmt.Sprintf("p%d", i+1),
+			Capacity: 4, DelayUs: delay,
+		})
+	}
+	return n
+}
+
+func TestPartitionNetworkRefusesZeroDelayCut(t *testing.T) {
+	n := testChain("nolook", 4, 0)
+	_, err := PartitionNetwork(n, 2)
+	if err == nil {
+		t.Fatalf("partitioning a zero-delay chain across 2 shards did not fail")
+	}
+	if !strings.Contains(err.Error(), "zero-delay") || !strings.Contains(err.Error(), "WithDelays") {
+		t.Fatalf("error %q does not explain the zero-lookahead refusal", err)
+	}
+	// One shard never cuts anything, so it is always legal.
+	plan, err := PartitionNetwork(n, 1)
+	if err != nil || plan.Shards != 1 {
+		t.Fatalf("single-shard plan: %v %+v", err, plan)
+	}
+	// The same topology with delay bounds shards fine.
+	if _, err := PartitionNetwork(n.WithDelays(50), 2); err != nil {
+		t.Fatalf("delayed chain refused: %v", err)
+	}
+}
+
+// A network where only some channels carry delays: the partitioner must
+// cut the delayed channel even though the zero-delay one is lighter.
+func TestPartitionNetworkAvoidsZeroDelayCut(t *testing.T) {
+	n := testChain("mixed", 4, 0)
+	n.Chans[1].DelayUs = 30 // only the middle channel is cuttable
+	n.Chans[0].TokenBytes = 1
+	n.Chans[1].TokenBytes = 1 << 20 // heavy, but the only legal cut
+	n.Chans[2].TokenBytes = 1
+	plan, err := PartitionNetwork(n, 2)
+	if err != nil {
+		t.Fatalf("partition: %v", err)
+	}
+	if plan.Assign["p1"] == plan.Assign["p2"] {
+		t.Fatalf("partition %v did not cut the only delayed channel", plan.Assign)
+	}
+}
+
+func TestPartitionNetworkClamps(t *testing.T) {
+	n := testChain("clamp", 3, 10)
+	plan, err := PartitionNetwork(n, 99)
+	if err != nil {
+		t.Fatalf("partition: %v", err)
+	}
+	if plan.Shards != 3 {
+		t.Fatalf("Shards = %d, want clamp to 3 processes", plan.Shards)
+	}
+	seen := map[int]bool{}
+	for _, s := range plan.Assign {
+		seen[s] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("assignment %v does not use all shards", plan.Assign)
+	}
+}
+
+func TestInstantiateShardedErrors(t *testing.T) {
+	n := testChain("errs", 4, 20)
+	plan, err := PartitionNetwork(n, 2)
+	if err != nil {
+		t.Fatalf("partition: %v", err)
+	}
+	sk := des.NewShardedKernel(3)
+	if _, err := n.InstantiateSharded(sk, plan, Options{}); err == nil {
+		t.Fatalf("shard-count mismatch not rejected")
+	}
+	sk2 := des.NewShardedKernel(2)
+	bad := ShardPlan{Shards: 2, Assign: map[string]int{"p0": 0, "p1": 0, "p2": 1}} // p3 missing
+	if _, err := n.InstantiateSharded(sk2, bad, Options{}); err == nil {
+		t.Fatalf("missing assignment not rejected")
+	}
+	sk2.Shutdown()
+	sk.Shutdown()
+}
+
+// ---------------------------------------------------------------------------
+// The identity property: a sharded run of a delayed network produces a
+// byte-identical canonical trace and sink stream for every partition.
+// ---------------------------------------------------------------------------
+
+type sinkRec struct {
+	At   des.Time
+	Seq  int64
+	Hash uint64
+}
+
+// genNet deterministically builds a random delayed network from seed:
+// either a single pipeline or two producer chains merging into a tail.
+// The recorder collects the consumer's output stream.
+func genNet(seed int64, rec *[]sinkRec) *Network {
+	rng := rand.New(rand.NewSource(seed))
+	n := &Network{Name: fmt.Sprintf("prop%d", seed)}
+	count := int64(15 + rng.Intn(25))
+
+	model := func() rtc.PJD {
+		return rtc.PJD{Period: des.Time(40 + rng.Intn(400)), Jitter: des.Time(rng.Intn(40))}
+	}
+	work := func() WorkModel {
+		return WorkModel{BaseUs: des.Time(5 + rng.Intn(80)), JitterUs: des.Time(rng.Intn(30))}
+	}
+	delay := func() des.Time { return des.Time(10 + rng.Intn(200)) }
+	payload := func(i int64) []byte { return []byte{byte(i), byte(i >> 8), byte(seed)} }
+	channel := func(from, to string) {
+		n.Chans = append(n.Chans, ChannelSpec{
+			Name: fmt.Sprintf("c%d", len(n.Chans)), From: from, To: to,
+			Capacity: 4 + rng.Intn(12), DelayUs: delay(),
+			TokenBytes: 1 + rng.Intn(512),
+		})
+	}
+	producer := func(name string, c int64) {
+		m, s := model(), rng.Int63()
+		n.Procs = append(n.Procs, ProcessSpec{Name: name, New: func(int) Behavior {
+			return Producer(m, s, c, payload)
+		}})
+	}
+	transform := func(name string) {
+		w, s := work(), rng.Int63()
+		n.Procs = append(n.Procs, ProcessSpec{Name: name, New: func(int) Behavior {
+			return Transform(w, s, func(i int64, b []byte) []byte { return append(b, byte(i)) })
+		}})
+	}
+	consumer := func(name string, c int64) {
+		m, s := model(), rng.Int63()
+		n.Procs = append(n.Procs, ProcessSpec{Name: name, New: func(int) Behavior {
+			return Consumer(m, s, c, func(now des.Time, tok Token) {
+				*rec = append(*rec, sinkRec{At: now, Seq: tok.Seq, Hash: tok.Hash()})
+			})
+		}})
+	}
+	chain := func(prefix string, k int) (first, last string) {
+		for i := 0; i < k; i++ {
+			name := fmt.Sprintf("%s%d", prefix, i)
+			transform(name)
+			if i == 0 {
+				first = name
+			} else {
+				channel(fmt.Sprintf("%s%d", prefix, i-1), name)
+			}
+			last = name
+		}
+		return first, last
+	}
+
+	if rng.Intn(2) == 0 {
+		// Pipeline: P -> T* -> C.
+		producer("P", count)
+		first, last := chain("T", 2+rng.Intn(4))
+		channel("P", first)
+		consumer("C", count)
+		channel(last, "C")
+	} else {
+		// Diamond: two producer chains merge, then a tail chain.
+		producer("Pa", count)
+		producer("Pb", count)
+		fa, la := chain("A", 1+rng.Intn(2))
+		fb, lb := chain("B", 1+rng.Intn(2))
+		channel("Pa", fa)
+		channel("Pb", fb)
+		w, s := work(), rng.Int63()
+		n.Procs = append(n.Procs, ProcessSpec{Name: "M", New: func(int) Behavior {
+			return func(p *des.Proc, in []ReadPort, out []WritePort) {
+				mrng := rand.New(rand.NewSource(s))
+				for i := int64(1); ; i++ {
+					a := in[0].Read(p)
+					b := in[1].Read(p)
+					p.Delay(w.Duration(mrng, a.Size()+b.Size()))
+					out[0].Write(p, Token{
+						Seq: i, Stamp: p.Now(),
+						Payload: append(append([]byte(nil), a.Payload...), b.Payload...),
+					})
+				}
+			}
+		}})
+		channel(la, "M")
+		channel(lb, "M")
+		ft, lt := chain("T", 1+rng.Intn(2))
+		channel("M", ft)
+		consumer("C", count)
+		channel(lt, "C")
+	}
+	return n
+}
+
+func runSequentialNet(t *testing.T, seed int64) ([]byte, []sinkRec) {
+	t.Helper()
+	var rec []sinkRec
+	n := genNet(seed, &rec)
+	k := des.NewKernel()
+	tc := des.NewTraceCollector()
+	tc.Attach(k)
+	if _, err := n.Instantiate(k, Options{}); err != nil {
+		t.Fatalf("seed %d: sequential instantiate: %v", seed, err)
+	}
+	k.Run(0)
+	k.Shutdown()
+	return tc.Bytes(), rec
+}
+
+func runShardedNet(t *testing.T, seed int64, shards int) ([]byte, []sinkRec, des.ShardStats) {
+	t.Helper()
+	var rec []sinkRec
+	n := genNet(seed, &rec)
+	plan, err := PartitionNetwork(n, shards)
+	if err != nil {
+		t.Fatalf("seed %d: partition into %d: %v", seed, shards, err)
+	}
+	sk := des.NewShardedKernel(plan.Shards)
+	tc := des.NewTraceCollector()
+	for i := 0; i < sk.NumShards(); i++ {
+		tc.Attach(sk.Shard(i))
+	}
+	if _, err := n.InstantiateSharded(sk, plan, Options{}); err != nil {
+		t.Fatalf("seed %d: sharded instantiate: %v", seed, err)
+	}
+	sk.Run(0)
+	stats := sk.Stats()
+	sk.Shutdown()
+	return tc.Bytes(), rec, stats
+}
+
+func sinksEqual(a, b []sinkRec) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestShardedNetworkIdentityProperty is the partition-invariance
+// property test: random delayed networks, random partitions, random
+// seeds — the sharded canonical trace and the consumer's output stream
+// must match the single-kernel oracle bit for bit.
+func TestShardedNetworkIdentityProperty(t *testing.T) {
+	trials := 200
+	if testing.Short() {
+		trials = 40
+	}
+	rng := rand.New(rand.NewSource(0xF7D))
+	var drained int64
+	for trial := 0; trial < trials; trial++ {
+		seed := rng.Int63()
+		wantTrace, wantSink := runSequentialNet(t, seed)
+		if len(wantSink) == 0 {
+			t.Fatalf("seed %d: sequential run delivered nothing", seed)
+		}
+		shards := 2 + rng.Intn(3)
+		if trial%10 == 0 {
+			shards = 1 // the degenerate partition must be identical too
+		}
+		gotTrace, gotSink, stats := runShardedNet(t, seed, shards)
+		if !bytes.Equal(wantTrace, gotTrace) {
+			t.Fatalf("seed %d shards %d: canonical trace diverged from sequential oracle\nseq:\n%s\nsharded:\n%s",
+				seed, shards, wantTrace, gotTrace)
+		}
+		if !sinksEqual(wantSink, gotSink) {
+			t.Fatalf("seed %d shards %d: sink stream diverged\nseq: %v\nsharded: %v",
+				seed, shards, wantSink, gotSink)
+		}
+		drained += stats.Drained
+	}
+	if drained == 0 {
+		t.Fatalf("no cross-shard messages in %d trials: property test is vacuous", trials)
+	}
+}
+
+// TestShardedNetworkIdentityAllWidths pins one seed and sweeps every
+// shard count 1..8 (clamped by the process count).
+func TestShardedNetworkIdentityAllWidths(t *testing.T) {
+	const seed = 424242
+	wantTrace, wantSink := runSequentialNet(t, seed)
+	for shards := 1; shards <= 8; shards++ {
+		gotTrace, gotSink, _ := runShardedNet(t, seed, shards)
+		if !bytes.Equal(wantTrace, gotTrace) {
+			t.Fatalf("shards %d: trace diverged", shards)
+		}
+		if !sinksEqual(wantSink, gotSink) {
+			t.Fatalf("shards %d: sink stream diverged", shards)
+		}
+	}
+}

@@ -1,0 +1,38 @@
+package obs
+
+import "ftpn/internal/des"
+
+// ShardCounters exposes the sharded kernel's conservative-protocol
+// counters as metrics: null-message clock publications, horizon grants
+// from the global fixed point, parks, wakes, payload messages drained,
+// and full-transport stalls. Scrape once per run (or periodically) with
+// Update — the des layer keeps its own atomics, so this is a copy, not
+// a live binding.
+type ShardCounters struct {
+	Nulls, Grants, Parks, Wakes, Drained, Stalls *Counter
+}
+
+// NewShardCounters registers the ftpn_des_shard_* counter family on r.
+// A nil registry yields nil counters (no-op metrics), matching the rest
+// of the package.
+func NewShardCounters(r *Registry) ShardCounters {
+	return ShardCounters{
+		Nulls:   r.Counter("ftpn_des_shard_null_messages_total", "link clock publications (shared-memory null messages)", nil),
+		Grants:  r.Counter("ftpn_des_shard_grants_total", "horizon grants from the global fixed point", nil),
+		Parks:   r.Counter("ftpn_des_shard_parks_total", "shard runner parks", nil),
+		Wakes:   r.Counter("ftpn_des_shard_wakes_total", "wakes of parked shards", nil),
+		Drained: r.Counter("ftpn_des_shard_drained_total", "cross-shard payload messages drained", nil),
+		Stalls:  r.Counter("ftpn_des_shard_stalls_total", "full-transport stalls", nil),
+	}
+}
+
+// Update advances the counters to match a stats snapshot. Snapshots are
+// cumulative, so Update adds only the delta since the last call.
+func (c *ShardCounters) Update(s des.ShardStats) {
+	c.Nulls.Add(s.NullMessages - c.Nulls.Value())
+	c.Grants.Add(s.Grants - c.Grants.Value())
+	c.Parks.Add(s.Parks - c.Parks.Value())
+	c.Wakes.Add(s.Wakes - c.Wakes.Value())
+	c.Drained.Add(s.Drained - c.Drained.Value())
+	c.Stalls.Add(s.Stalls - c.Stalls.Value())
+}

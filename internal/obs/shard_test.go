@@ -1,0 +1,31 @@
+package obs
+
+import (
+	"testing"
+
+	"ftpn/internal/des"
+)
+
+func TestShardCountersUpdate(t *testing.T) {
+	r := NewRegistry()
+	c := NewShardCounters(r)
+	c.Update(des.ShardStats{NullMessages: 5, Grants: 2, Parks: 3, Wakes: 4, Drained: 10, Stalls: 1})
+	c.Update(des.ShardStats{NullMessages: 8, Grants: 2, Parks: 5, Wakes: 6, Drained: 12, Stalls: 1})
+	if got := c.Nulls.Value(); got != 8 {
+		t.Fatalf("nulls = %d, want cumulative 8", got)
+	}
+	if got := c.Drained.Value(); got != 12 {
+		t.Fatalf("drained = %d, want 12", got)
+	}
+	if got := c.Parks.Value(); got != 5 {
+		t.Fatalf("parks = %d, want 5", got)
+	}
+}
+
+func TestShardCountersNilRegistry(t *testing.T) {
+	c := NewShardCounters(nil)
+	c.Update(des.ShardStats{NullMessages: 5}) // must not panic
+	if c.Nulls.Value() != 0 {
+		t.Fatalf("nil-registry counter accumulated")
+	}
+}
