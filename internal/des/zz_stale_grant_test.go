@@ -1,0 +1,67 @@
+package des
+
+import (
+	"testing"
+)
+
+func TestStaleGrantAcrossRuns(t *testing.T) {
+	for trial := 0; trial < 100; trial++ {
+		sk := NewShardedKernel(3)
+		a := sk.Shard(0)
+		lam := sk.Connect(0, 1, 10)
+		lmb := sk.Connect(1, 2, 10)
+		ramRing := NewTimedRing[int](8)
+		mbRing := NewTimedRing[int](8)
+		sk.RegisterDrain(1, func(k *Kernel) int64 {
+			var n int64
+			for {
+				msg, ok := ramRing.TryPop()
+				if !ok {
+					break
+				}
+				at := msg.At
+				k.At(at, func() {
+					mbRing.TryPush(Stamped[int]{At: at + 10})
+					lmb.NotifySent()
+				})
+				n++
+			}
+			if n > 0 {
+				lam.NotifyDrained(n)
+			}
+			return n
+		})
+		sk.RegisterDrain(2, func(k *Kernel) int64 {
+			var n int64
+			for {
+				msg, ok := mbRing.TryPop()
+				if !ok {
+					break
+				}
+				if msg.At < k.Now() {
+					t.Fatalf("trial %d: causality violation: message stamped %d drained at kernel time %d (grants=%d)",
+						trial, msg.At, k.Now(), sk.Stats().Grants)
+				}
+				k.At(msg.At, func() {})
+				n++
+			}
+			if n > 0 {
+				lmb.NotifyDrained(n)
+			}
+			return n
+		})
+		// A's only event is beyond the first Run's limit: M stays idle in
+		// Run(100), so its outbound clock never moves past the initial 10.
+		a.At(150, func() {
+			ramRing.TryPush(Stamped[int]{At: a.Now() + 10})
+			lam.NotifySent()
+		})
+		b := sk.Shard(2)
+		b.At(60, func() {})
+		b.At(120, func() {})
+
+		sk.Run(100)
+		sk.Run(400)
+		sk.Shutdown()
+	}
+}
