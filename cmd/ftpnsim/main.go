@@ -10,6 +10,8 @@
 //	ftpnsim -exp obsbench -out BENCH_PR4.json
 //	ftpnsim -exp corebench -out BENCH_PR5.json
 //	ftpnsim -exp shardbench -shards 1,2,4,8 -out BENCH_PR6.json
+//	ftpnsim -exp detectbench -runs 25 -seed 1 -out BENCH_PR7.json
+//	ftpnsim -exp campaign -policy mk+value -mk 2,16
 //	ftpnsim -exp table2 -app adpcm -tracefile out.json
 //	ftpnsim -exp campaign -cpuprofile cpu.pprof -memprofile mem.pprof
 //
@@ -27,7 +29,12 @@
 // shardbench experiment sweeps the conservative sharded kernel across
 // the -shards counts — dispatch and pipeline scaling plus the
 // application identity matrix (every app, shards 1..8, byte-identical
-// canonical traces against the single-kernel oracle).
+// canonical traces against the single-kernel oracle). The detectbench
+// experiment measures detection latency and false-positive rate per
+// fault class (transient glitch/burst, permanent stop/drift/drop,
+// value corruption) under the binary, per-app (m,k) weakly-hard, and
+// (m,k)+value-check policies, and compares measured latency against
+// the analytic detection bound.
 //
 // -cpuprofile/-memprofile write pprof profiles covering the selected
 // experiment (the memory profile is written at exit, after a final GC).
@@ -57,6 +64,7 @@ import (
 
 	"ftpn/internal/des"
 	"ftpn/internal/exp"
+	"ftpn/internal/ft"
 )
 
 // cliConfig carries the parsed command-line options.
@@ -80,11 +88,44 @@ type cliConfig struct {
 	shards         string // shard counts CSV for shardbench
 	cpuprofile     string // pprof CPU profile path ("" = off)
 	memprofile     string // pprof heap profile path ("" = off)
+
+	policy string // detection policy: "", binary, mk, binary+value, mk+value
+	mk     string // (m,k) parameters for -policy mk, as "m,k"
+}
+
+// parsePolicy resolves the -policy/-mk flags into a policy spec. The
+// empty policy keeps the inline first-violation path (and the
+// campaign's legacy byte-identical output).
+func parsePolicy(policy, mk string) (ft.PolicySpec, error) {
+	var sp ft.PolicySpec
+	if s, ok := strings.CutSuffix(policy, "+value"); ok {
+		sp.Value = true
+		policy = s
+	}
+	switch policy {
+	case "":
+		if sp.Value {
+			sp.Kind = ft.PolicyBinary
+		}
+	case "binary":
+		sp.Kind = ft.PolicyBinary
+	case "mk":
+		sp.Kind = ft.PolicyMK
+		if _, err := fmt.Sscanf(mk, "%d,%d", &sp.M, &sp.K); err != nil {
+			return sp, fmt.Errorf("invalid -mk %q (want \"m,k\", e.g. -mk 2,16): %v", mk, err)
+		}
+	default:
+		return sp, fmt.Errorf("unknown -policy %q (want binary, mk, binary+value or mk+value)", policy)
+	}
+	if _, err := ft.NewPolicy(sp); err != nil {
+		return sp, err
+	}
+	return sp, nil
 }
 
 func main() {
 	var cfg cliConfig
-	flag.StringVar(&cfg.expName, "exp", "table2", "experiment: table1, table2, table3, report, fills, bench, campaign, obsbench, corebench or shardbench")
+	flag.StringVar(&cfg.expName, "exp", "table2", "experiment: table1, table2, table3, report, fills, bench, campaign, obsbench, corebench, shardbench or detectbench")
 	flag.StringVar(&cfg.appName, "app", "all", "application: mjpeg, adpcm, h264 or all")
 	flag.IntVar(&cfg.runs, "runs", 20, "fault-injection runs per configuration")
 	flag.Int64Var(&cfg.pollUs, "poll", 1000, "distance-function poll period in µs (table3)")
@@ -101,6 +142,8 @@ func main() {
 	flag.StringVar(&cfg.shards, "shards", "1,2,4,8", "shard counts shardbench sweeps (comma-separated)")
 	flag.StringVar(&cfg.cpuprofile, "cpuprofile", "", "write a pprof CPU profile of the experiment to this path")
 	flag.StringVar(&cfg.memprofile, "memprofile", "", "write a pprof heap profile at exit to this path")
+	flag.StringVar(&cfg.policy, "policy", "", "campaign detection policy: binary, mk, binary+value or mk+value (default: inline first-violation path)")
+	flag.StringVar(&cfg.mk, "mk", "", "(m,k) window for -policy mk, as \"m,k\" (e.g. -mk 2,16)")
 	flag.Parse()
 	if err := run(cfg); err != nil {
 		fmt.Fprintf(os.Stderr, "ftpnsim: %v\n", err)
@@ -352,8 +395,39 @@ func runExperiment(cfg cliConfig) error {
 			fmt.Fprintf(os.Stderr, "sharded-simulation bench report written to %s\n", out)
 		}
 		return nil
+	case "detectbench":
+		rep, err := exp.DetectBench(cfg.runs, cfg.seed, opts...)
+		if err != nil {
+			return err
+		}
+		fmt.Print(rep.String())
+		out := cfg.out
+		if out == "" {
+			out = "BENCH_PR7.json"
+		}
+		if out != "-" {
+			f, err := os.Create(out)
+			if err != nil {
+				return err
+			}
+			if err := rep.WriteJSON(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "detection bench report written to %s\n", out)
+		} else if err := rep.WriteJSON(os.Stdout); err != nil {
+			return err
+		}
+		return nil
 	case "campaign":
-		res, err := exp.Campaign(exp.CampaignConfig{Runs: cfg.n, Seed: cfg.seed}, opts...)
+		pol, err := parsePolicy(cfg.policy, cfg.mk)
+		if err != nil {
+			return err
+		}
+		res, err := exp.Campaign(exp.CampaignConfig{Runs: cfg.n, Seed: cfg.seed, Policy: pol}, opts...)
 		if err != nil {
 			return err
 		}
@@ -383,6 +457,6 @@ func runExperiment(cfg cliConfig) error {
 		}
 		return nil
 	default:
-		return fmt.Errorf("unknown experiment %q (want table1, table2, table3, report, fills, bench, campaign, obsbench, corebench or shardbench)", cfg.expName)
+		return fmt.Errorf("unknown experiment %q (want table1, table2, table3, report, fills, bench, campaign, obsbench, corebench, shardbench or detectbench)", cfg.expName)
 	}
 }

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"ftpn/internal/ft"
 )
 
 // Fault is a detection event from a concurrent channel.
@@ -23,6 +25,17 @@ func (f Fault) String() string {
 // released.
 type FaultHandler func(Fault)
 
+// sampleDetect routes one detection-predicate evaluation through an
+// installed policy; a nil policy reproduces the inline first-violation
+// behavior exactly. Callers hold the owning channel's lock, which is
+// the synchronization the ft.Policy contract requires.
+func sampleDetect(p ft.Policy, r int, reason string, violation bool) bool {
+	if p == nil {
+		return violation
+	}
+	return p.Sample(r, ft.Reason(reason), violation)
+}
+
 // Replicator is the concurrent two-queue replicator with queue-full
 // fault detection (§3.3), safe for one writer and two reader
 // goroutines.
@@ -39,6 +52,19 @@ type Replicator struct {
 	handler  FaultHandler
 	lost     int64
 	probe    Probe
+	// policy, when non-nil, arbitrates detection samples instead of the
+	// inline first-violation conviction (see ft.Policy). Per-channel
+	// instance; every Sample/Reset call happens under mu.
+	policy ft.Policy
+}
+
+// SetPolicy installs the replicator's detection policy (nil keeps the
+// inline first-violation path). The instance must not be shared with
+// another channel: calls are serialized by this channel's lock only.
+func (r *Replicator) SetPolicy(p ft.Policy) {
+	r.mu.Lock()
+	r.policy = p
+	r.mu.Unlock()
 }
 
 // NewReplicator builds a concurrent replicator.
@@ -68,10 +94,24 @@ func (r *Replicator) Write(tok Token) bool {
 			continue
 		}
 		if len(r.queues[i]) >= r.caps[i] {
-			r.faulty[i] = true
-			r.faultAt[i] = r.clock.Now()
-			fire = append(fire, Fault{Channel: r.name, Replica: i + 1, At: r.faultAt[i], Reason: "queue-full"})
-			continue
+			if sampleDetect(r.policy, i, "queue-full", true) {
+				r.faulty[i] = true
+				r.faultAt[i] = r.clock.Now()
+				fire = append(fire, Fault{Channel: r.name, Replica: i + 1, At: r.faultAt[i], Reason: "queue-full"})
+				continue
+			}
+			// Forgiven overflow: re-arm like the ft replicator's slide —
+			// drop the oldest token so the newest is admitted and the
+			// replica's window stays contiguous.
+			copy(r.queues[i], r.queues[i][1:])
+			r.queues[i] = r.queues[i][:len(r.queues[i])-1]
+			if fn := r.probe; fn != nil {
+				fn(ProbeEvent{At: r.clock.Now(), Channel: r.name, Kind: "drop-slide", Replica: i + 1, Fill: len(r.queues[i])})
+			}
+		} else if r.policy != nil {
+			// Space available: a clean sample slides the (m,k) window
+			// toward forgiveness.
+			sampleDetect(r.policy, i, "queue-full", false)
 		}
 		r.queues[i] = append(r.queues[i], tok)
 		// Replica i's reader parks only after observing an empty queue
@@ -151,6 +191,9 @@ func (r *Replicator) Reintegrate(replica, fill int) bool {
 	}
 	r.queues[i] = append(r.queues[i][:0], src[len(src)-fill:]...)
 	r.faulty[i] = false
+	if r.policy != nil {
+		r.policy.Reset(i)
+	}
 	if fn := r.probe; fn != nil {
 		fn(ProbeEvent{At: r.clock.Now(), Channel: r.name, Kind: "reintegrate", Replica: replica, Fill: fill})
 	}
@@ -230,6 +273,19 @@ type Selector struct {
 	resyncWait  *sync.Cond
 
 	probe Probe
+	// policy, when non-nil, arbitrates detection samples instead of the
+	// inline first-violation conviction (see ft.Policy). Per-channel
+	// instance; every Sample/Reset call happens under mu.
+	policy ft.Policy
+}
+
+// SetPolicy installs the selector's detection policy (nil keeps the
+// inline first-violation path). The instance must not be shared with
+// another channel: calls are serialized by this channel's lock only.
+func (s *Selector) SetPolicy(p ft.Policy) {
+	s.mu.Lock()
+	s.policy = p
+	s.mu.Unlock()
 }
 
 // NewSelector builds a concurrent selector with capacities, initial
@@ -324,6 +380,9 @@ func (s *Selector) align(i, h int, back int64) {
 	s.selGrace[i] = int64(s.caps[i]) + s.divThres
 	s.faulty[i] = false
 	s.reasons[i] = ""
+	if s.policy != nil {
+		s.policy.Reset(i)
+	}
 	if fn := s.probe; fn != nil {
 		fn(ProbeEvent{At: s.clock.Now(), Channel: s.name, Kind: "aligned", Replica: i + 1, Fill: len(s.fifo)})
 	}
@@ -399,12 +458,14 @@ func (s *Selector) Write(replica int, tok Token) bool {
 	if s.resync[other] {
 		s.resyncWait.Broadcast()
 	}
-	if s.divThres > 0 && !s.faulty[other] && !s.resync[other] && s.selGrace[i] == 0 &&
-		s.effW(i)-s.effW(other) >= s.divThres {
-		s.faulty[other] = true
-		s.faultAt[other] = s.clock.Now()
-		s.reasons[other] = "divergence"
-		fire = append(fire, Fault{Channel: s.name, Replica: other + 1, At: s.faultAt[other], Reason: "divergence"})
+	if s.divThres > 0 && !s.faulty[other] && !s.resync[other] && s.selGrace[i] == 0 {
+		lead := s.effW(i) - s.effW(other)
+		if sampleDetect(s.policy, other, "divergence", lead >= s.divThres) {
+			s.faulty[other] = true
+			s.faultAt[other] = s.clock.Now()
+			s.reasons[other] = "divergence"
+			fire = append(fire, Fault{Channel: s.name, Replica: other + 1, At: s.faultAt[other], Reason: "divergence"})
+		}
 	}
 	s.mu.Unlock()
 	for _, f := range fire {
@@ -437,11 +498,13 @@ func (s *Selector) Read() (Token, bool) {
 	for i := 0; i < 2; i++ {
 		s.space[i]++
 		// An interface mid-resync is exempt until it re-aligns.
-		if !s.faulty[i] && !s.resync[i] && s.space[i] > int64(s.caps[i]) {
-			s.faulty[i] = true
-			s.faultAt[i] = s.clock.Now()
-			s.reasons[i] = "consumer-stall"
-			fire = append(fire, Fault{Channel: s.name, Replica: i + 1, At: s.faultAt[i], Reason: "consumer-stall"})
+		if !s.faulty[i] && !s.resync[i] {
+			if sampleDetect(s.policy, i, "consumer-stall", s.space[i] > int64(s.caps[i])) {
+				s.faulty[i] = true
+				s.faultAt[i] = s.clock.Now()
+				s.reasons[i] = "consumer-stall"
+				fire = append(fire, Fault{Channel: s.name, Replica: i + 1, At: s.faultAt[i], Reason: "consumer-stall"})
+			}
 		}
 		// Writer i parks only after observing zero space under this lock
 		// (Reintegrate re-routes it with its own broadcast), so only the

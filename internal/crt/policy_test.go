@@ -1,0 +1,165 @@
+package crt
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"ftpn/internal/ft"
+)
+
+// TestSelectorMKForgivesExcursion: an (m,k) policy on the concurrent
+// selector forgives a divergence excursion that the binary path would
+// convict, and still convicts once the budget is exceeded.
+func TestSelectorMKForgivesExcursion(t *testing.T) {
+	mk, err := ft.NewMKPolicy(3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSelector(NewWallClock(), "S", [2]int{16, 16}, [2]int{0, 0}, 2, nil)
+	s.SetPolicy(mk)
+	// Replica 1 runs 3 pairs ahead: 2 violating samples (lead 2, 3) —
+	// within the budget of 3.
+	for i := int64(1); i <= 3; i++ {
+		s.Write(1, Token{Seq: i})
+	}
+	if ok, _, _ := s.Faulty(2); ok {
+		t.Fatal("replica 2 convicted inside the (3,8) budget")
+	}
+	// Replica 2 catches up; the clean samples slide the window.
+	for i := int64(1); i <= 3; i++ {
+		s.Write(2, Token{Seq: i})
+	}
+	// A second, longer excursion: violations 4 and 5 in the window
+	// exceed m=3.
+	for i := int64(4); i <= 9; i++ {
+		s.Write(1, Token{Seq: i})
+	}
+	if ok, _, reason := s.Faulty(2); !ok || reason != "divergence" {
+		t.Fatalf("replica 2 not convicted past the budget: %v %s", ok, reason)
+	}
+}
+
+// TestReplicatorMKForgivesOverflow: a forgiven queue overflow on the
+// concurrent replicator drops the oldest token and admits the newest
+// instead of convicting, and the budget still convicts eventually.
+func TestReplicatorMKForgivesOverflow(t *testing.T) {
+	mk, err := ft.NewMKPolicy(2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewReplicator(NewWallClock(), "R", [2]int{2, 16}, nil)
+	r.SetPolicy(mk)
+	for i := int64(1); i <= 4; i++ {
+		r.Write(Token{Seq: i})
+	}
+	// Queue 1 (cap 2) overflowed twice — both within the budget.
+	if ok, _ := r.Faulty(1); ok {
+		t.Fatal("replica 1 convicted inside the (2,8) budget")
+	}
+	if tok, _ := r.Read(1); tok.Seq != 3 {
+		t.Fatalf("head of slid queue = %d, want 3 (oldest dropped)", tok.Seq)
+	}
+	// The third overflow in the window exceeds m=2.
+	r.Write(Token{Seq: 5})
+	r.Write(Token{Seq: 6})
+	if ok, _ := r.Faulty(1); !ok {
+		t.Fatal("replica 1 not convicted past the budget")
+	}
+}
+
+// TestPolicyHammerMK drives both concurrent channels hard with an
+// (m,k) policy armed — two selector writers racing a reader, a
+// replicator writer racing two readers plus periodic re-integrations
+// resetting the replicator's policy windows. Run under -race this is
+// the memory-model check that all policy state stays confined to the
+// channel locks; functionally it asserts only that the hammer
+// quiesces (no deadlock) with every producer write accepted.
+func TestPolicyHammerMK(t *testing.T) {
+	const n = 4000
+	clock := NewWallClock()
+
+	selMK, err := ft.NewMKPolicy(4, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSelector(clock, "S", [2]int{64, 64}, [2]int{0, 0}, 8, nil)
+	s.SetPolicy(selMK)
+
+	repMK, err := ft.NewMKPolicy(4, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewReplicator(clock, "R", [2]int{8, 8}, nil)
+	r.SetPolicy(repMK)
+
+	var writers sync.WaitGroup
+	var rest sync.WaitGroup
+
+	// Selector: two racing writers, one draining reader.
+	writers.Add(2)
+	for w := 1; w <= 2; w++ {
+		go func(w int) {
+			defer writers.Done()
+			for i := int64(1); i <= n; i++ {
+				if !s.Write(w, Token{Seq: i}) {
+					return
+				}
+			}
+		}(w)
+	}
+	rest.Add(1)
+	go func() {
+		defer rest.Done()
+		for {
+			if _, ok := s.Read(); !ok {
+				return
+			}
+		}
+	}()
+
+	// Replicator: one writer with periodic re-integrations, two
+	// draining readers.
+	writers.Add(1)
+	go func() {
+		defer writers.Done()
+		for i := int64(1); i <= n; i++ {
+			if !r.Write(Token{Seq: i}) {
+				return
+			}
+			if i%256 == 0 {
+				r.Reintegrate(1+int(i/256)%2, 2)
+			}
+		}
+	}()
+	rest.Add(2)
+	for rep := 1; rep <= 2; rep++ {
+		go func(rep int) {
+			defer rest.Done()
+			for {
+				if _, ok := r.Read(rep); !ok {
+					return
+				}
+			}
+		}(rep)
+	}
+
+	// Writers finish (readers keep the queues draining), then Close
+	// unblocks the parked readers.
+	wdone := make(chan struct{})
+	go func() { writers.Wait(); close(wdone) }()
+	select {
+	case <-wdone:
+	case <-time.After(30 * time.Second):
+		t.Fatal("hammer writers did not finish (deadlock?)")
+	}
+	s.Close()
+	r.Close()
+	rdone := make(chan struct{})
+	go func() { rest.Wait(); close(rdone) }()
+	select {
+	case <-rdone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("hammer readers did not quiesce after close")
+	}
+}

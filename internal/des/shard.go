@@ -232,6 +232,12 @@ func (sk *ShardedKernel) Run(until Time) Time {
 	for _, s := range sk.shards {
 		s.wake = false
 		s.parked.Store(false)
+		// A grant is a promise derived from the fixed point of a prior
+		// run, computed under that run's `until` cap: a shard that held
+		// events beyond the cap looked inert to the fixed point, so the
+		// promise can overshoot its next send. Stale grants must not
+		// lift horizons in this run.
+		s.grant.Store(0)
 		if s.chunk == 0 {
 			s.chunk = chunkFor(s)
 		}
@@ -539,8 +545,14 @@ func (sk *ShardedKernel) globalCheck() {
 			// Events all lie at ≥ max(lastH, queue bound): the shard
 			// already ran to lastH-1, and the queue bound sees past
 			// the horizon so far-future events don't force the fixed
-			// point through one lookahead-sized step per round.
+			// point through one lookahead-sized step per round. When
+			// the run cap, not the horizon, was the binding target the
+			// shard only ran to `until`, so the honest claim is
+			// min(lastH, until+1).
 			b := Time(s.lastH.Load())
+			if b > sk.until+1 {
+				b = sk.until + 1
+			}
 			if eb, ok := s.k.events.bound(); ok && eb > b {
 				b = eb
 			}

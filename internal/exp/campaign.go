@@ -196,6 +196,43 @@ func buildGoldens(workers int) (map[goldenKey]*golden, error) {
 	return out, nil
 }
 
+// valueCheck builds the replay-based value cross-check for the cell's
+// selector from its golden stream (RepTFD-style): pair p of the
+// duplicated output corresponds to golden consumer token nPre+p-1,
+// where nPre is the selector's physical preload. Pair positions past
+// the recorded stream pass vacuously, and so does a token whose Seq
+// differs from the golden position — that is a stream skew the timing
+// detectors own (ft.ValueCheck's contract), not corruption. Only a
+// same-Seq payload-hash mismatch fails the check.
+func (g *golden) valueCheck() ft.ValueCheck {
+	nPre := g.sizing.SelInits[0]
+	if g.sizing.SelInits[1] > nPre {
+		nPre = g.sizing.SelInits[1]
+	}
+	stream := g.stream
+	return func(pair int64, tok kpn.Token) bool {
+		idx := int64(nPre) + pair - 1
+		if idx < 0 || idx >= int64(len(stream)) {
+			return true
+		}
+		if stream[idx].seq != tok.Seq {
+			return true
+		}
+		return stream[idx].hash == tok.Hash()
+	}
+}
+
+// buildConfig assembles the ft build configuration for one run of the
+// cell under the given detection policy.
+func (g *golden) buildConfig(pol ft.PolicySpec) ft.BuildConfig {
+	cfg := g.sizing.BuildConfig(g.app)
+	cfg.Policy = pol
+	if pol.Value {
+		cfg.ValueCheck = map[string]ft.ValueCheck{g.app.OutChan: g.valueCheck()}
+	}
+	return cfg
+}
+
 // CampaignRun is the machine-checked outcome of one scenario.
 type CampaignRun struct {
 	Scenario   Scenario `json:"scenario"`
@@ -212,7 +249,7 @@ type CampaignRun struct {
 }
 
 // campaignOne executes one scenario against its golden reference.
-func campaignOne(sc Scenario, g *golden) (CampaignRun, error) {
+func campaignOne(sc Scenario, g *golden, pol ft.PolicySpec) (CampaignRun, error) {
 	res := CampaignRun{Scenario: sc, DetectedUs: -1, RecoveredUs: -1,
 		SecondInjectUs: -1, SecondDetectedUs: -1, LatencyMarginPct: -1}
 	violate := func(format string, args ...any) {
@@ -230,7 +267,7 @@ func campaignOne(sc Scenario, g *golden) (CampaignRun, error) {
 		return res, err
 	}
 	k := des.NewKernel()
-	sys, err := ft.Build(k, net, g.sizing.BuildConfig(app))
+	sys, err := ft.Build(k, net, g.buildConfig(pol))
 	if err != nil {
 		return res, err
 	}
@@ -370,6 +407,12 @@ type CampaignConfig struct {
 	// KeepViolating caps how many violating runs are carried verbatim in
 	// the result (0 = default 20).
 	KeepViolating int
+	// Policy selects the detection policy armed on every channel. The
+	// zero value keeps the inline first-violation path and produces
+	// byte-identical results to campaigns that predate the policy layer.
+	// With Policy.Value set, the selector additionally cross-checks
+	// every write against the cell's golden stream.
+	Policy ft.PolicySpec
 }
 
 // CampaignResult aggregates a campaign in run-index order; it is
@@ -377,6 +420,9 @@ type CampaignConfig struct {
 type CampaignResult struct {
 	Runs int   `json:"runs"`
 	Seed int64 `json:"seed"`
+	// Policy labels the detection policy the campaign armed; omitted
+	// for the default inline path so legacy reports compare bit-equal.
+	Policy string `json:"policy,omitempty"`
 
 	Violations    int           `json:"violations"`
 	ViolatingRuns []CampaignRun `json:"violating_runs,omitempty"`
@@ -407,13 +453,16 @@ func Campaign(cfg CampaignConfig, opts ...Option) (*CampaignResult, error) {
 	if keep <= 0 {
 		keep = 20
 	}
+	if _, err := ft.NewPolicy(cfg.Policy); err != nil {
+		return nil, fmt.Errorf("exp: campaign policy: %w", err)
+	}
 	goldens, err := buildGoldens(rc.workers)
 	if err != nil {
 		return nil, err
 	}
 	runs, err := runIndexed(rc.workers, cfg.Runs, func(i int) (CampaignRun, error) {
 		sc := ScenarioFor(cfg.Seed, i)
-		return campaignOne(sc, goldens[goldenKey{sc.App, sc.MinJitter}])
+		return campaignOne(sc, goldens[goldenKey{sc.App, sc.MinJitter}], cfg.Policy)
 	})
 	if err != nil {
 		return nil, err
@@ -424,6 +473,9 @@ func Campaign(cfg CampaignConfig, opts ...Option) (*CampaignResult, error) {
 		RunsPerApp:   map[string]int{},
 		RunsPerMode:  map[string]int{},
 		MinMarginPct: 100,
+	}
+	if !cfg.Policy.IsDefault() {
+		res.Policy = cfg.Policy.String()
 	}
 	for _, r := range runs {
 		res.RunsPerApp[r.Scenario.App]++

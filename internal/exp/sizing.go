@@ -155,6 +155,67 @@ func SizingCacheStats() (hits, misses int64) {
 	return sizingHits.Load(), sizingMisses.Load()
 }
 
+// MKBounds carries the worst-case detection-latency bounds for a
+// permanent fail-silent fault under an (m,k) policy: the analytic
+// generalization of Sizing's SelBoundUs/RepBoundUs with m extra
+// forgiven violations budgeted per detector (k does not appear — a
+// permanent fault violates every sample once past the threshold, see
+// rtc.DetectionBoundMK).
+type MKBounds struct {
+	SelBoundUs des.Time
+	RepBoundUs des.Time
+}
+
+// Worst returns the later of the two detectors' bounds.
+func (b MKBounds) Worst() des.Time {
+	if b.RepBoundUs > b.SelBoundUs {
+		return b.RepBoundUs
+	}
+	return b.SelBoundUs
+}
+
+// MKDetectionBounds re-derives the stopped-replica detection bounds of
+// ComputeSizing under an (m,k) policy with violation budget m. m = 0
+// reproduces (SelBoundUs, RepBoundUs) exactly.
+func MKDetectionBounds(app App, s Sizing, m int) (MKBounds, error) {
+	var b MKBounds
+	if m < 0 {
+		m = 0
+	}
+	in1, in2 := app.InModel(1), app.InModel(2)
+	out1, out2 := app.OutModel(1), app.OutModel(2)
+	bh := rtc.Horizon(app.Producer, app.Consumer, in1, in2, out1, out2) * 8
+
+	sel, err := rtc.StoppedDetectionBoundMK([]rtc.Curve{out1.Lower(), out2.Lower()}, s.D, m, bh)
+	if err != nil {
+		return b, fmt.Errorf("exp: mk selector detection bound: %w", err)
+	}
+	b.SelBoundUs = sel
+
+	// Replicator side, mirroring ComputeSizing: the queue-full detector
+	// tolerates m forgiven full-queue writes (each one producer token),
+	// the read-divergence detector m extra healthy-side consumptions.
+	for i := range s.RepCaps {
+		qf, err := boundForCount(app.Producer.Lower(), int64(s.RepCaps[i])+2+int64(m), bh)
+		if err != nil {
+			return b, fmt.Errorf("exp: mk replicator queue-fill bound R%d: %w", i+1, err)
+		}
+		other := []rtc.PJD{in1, in2}[1-i]
+		dv, err := boundForCount(other.Lower(), 2*s.DRep+int64(m), bh)
+		if err != nil {
+			dv = qf // divergence never fires within the horizon
+		}
+		rb := qf
+		if dv < rb {
+			rb = dv
+		}
+		if rb > b.RepBoundUs {
+			b.RepBoundUs = rb
+		}
+	}
+	return b, nil
+}
+
 // boundForCount returns the smallest Δ with curve(Δ) >= need, via the
 // breakpoint-driven inversion (rtc.TimeToReach) instead of a tick scan.
 func boundForCount(c rtc.Curve, need rtc.Count, horizon des.Time) (des.Time, error) {

@@ -32,6 +32,21 @@ const (
 	// modelling a replica that still works but at a lower rate than its
 	// design-time model allows.
 	Degrade
+	// Drift is the gray-failure version of Degrade: the extra delay
+	// ramps linearly from zero to Gray.ExtraUs over Gray.RampUs after
+	// injection — slow jitter drift that stays under the detection
+	// envelopes for a while (see gray.go).
+	Drift
+	// Burst stalls both directions for the first Gray.OnUs of every
+	// Gray.PeriodUs — duty-cycled stop-all episodes.
+	Burst
+	// DropTokens silently swallows every Gray.EveryN-th gated write; the
+	// replica computes but intermittently fails to deliver.
+	DropTokens
+	// Corrupt flips payload bytes of every Gray.EveryN-th gated write
+	// while timing stays clean — the value-fault mode only replay-based
+	// cross-checking (ft.Selector.SetValueCheck) can detect.
+	Corrupt
 )
 
 // String implements fmt.Stringer.
@@ -47,6 +62,14 @@ func (m Mode) String() string {
 		return "stop-all"
 	case Degrade:
 		return "degrade"
+	case Drift:
+		return "drift"
+	case Burst:
+		return "burst"
+	case DropTokens:
+		return "drop-tokens"
+	case Corrupt:
+		return "corrupt"
 	default:
 		return fmt.Sprintf("Mode(%d)", int(m))
 	}
@@ -77,6 +100,11 @@ type Switch struct {
 	injected bool
 	repaired bool
 	history  []Injection
+
+	// gray parameterizes the gray-failure modes (see gray.go); ops
+	// counts gated writes since injection for the every-N modes.
+	gray Gray
+	ops  int64
 }
 
 // NewSwitch creates a healthy switch bound to the kernel.
@@ -121,6 +149,8 @@ func (s *Switch) Repair() {
 	}
 	s.mode = None
 	s.extraUs = 0
+	s.gray = Gray{}
+	s.ops = 0
 	s.repaired = true
 	if n := len(s.history); n > 0 && !s.history[n-1].Repaired {
 		s.history[n-1].Repaired = true
@@ -157,6 +187,7 @@ func stopsWrites(m Mode) bool { return m == StopProducing || m == StopAll }
 // gateRead applies the fault to a read about to happen.
 func (s *Switch) gateRead(p *des.Proc) {
 	s.blockWhileStopped(p, stopsReads)
+	s.grayGate(p)
 	if s.mode == Degrade {
 		p.Delay(s.extraUs)
 	}
@@ -165,6 +196,7 @@ func (s *Switch) gateRead(p *des.Proc) {
 // gateWrite applies the fault to a write about to happen.
 func (s *Switch) gateWrite(p *des.Proc) {
 	s.blockWhileStopped(p, stopsWrites)
+	s.grayGate(p)
 	if s.mode == Degrade {
 		p.Delay(s.extraUs)
 	}
@@ -213,6 +245,10 @@ func GateWrite(port kpn.WritePort, sw *Switch) kpn.WritePort {
 // Write implements kpn.WritePort.
 func (g *writeGate) Write(p *des.Proc, tok kpn.Token) {
 	g.sw.gateWrite(p)
+	tok, drop := g.sw.transformWrite(tok)
+	if drop {
+		return
+	}
 	g.inner.Write(p, tok)
 }
 

@@ -1,0 +1,178 @@
+package fault
+
+// Gray-failure fault library: faults that are neither fail-silent nor
+// cleanly degraded — slow jitter drift, duty-cycled stalls, intermittent
+// token loss, silent payload corruption, and correlated multi-replica
+// episodes. These are the fault classes an (m,k) weakly-hard detection
+// policy must ride out (short, within-budget episodes) or a value
+// cross-check must catch (corruption with clean timing); the binary
+// first-violation policy either convicts on the first excursion or
+// never notices.
+
+import (
+	"math/rand"
+
+	"ftpn/internal/des"
+	"ftpn/internal/kpn"
+)
+
+// Gray parameterizes the gray-failure modes. Only the fields of the
+// injected mode are read.
+type Gray struct {
+	// Drift: the per-operation delay ramps linearly from 0 at injection
+	// to ExtraUs once RampUs has elapsed (RampUs = 0 starts at full
+	// strength, i.e. plain Degrade).
+	ExtraUs des.Time
+	RampUs  des.Time
+
+	// Burst: operations stall for the first OnUs of every PeriodUs,
+	// phase-locked to the injection instant. OnUs is clamped below
+	// PeriodUs (a full-period stall is StopAll, not a burst).
+	OnUs     des.Time
+	PeriodUs des.Time
+
+	// DropTokens/Corrupt: every EveryN-th gated write is affected
+	// (EveryN <= 1 means every write).
+	EveryN int
+
+	// Corrupt: Seed varies which payload byte is flipped.
+	Seed uint64
+}
+
+// InjectGray trips a gray-failure fault immediately. Like Inject, an
+// active fault is permanent until Repair; the plain modes may also be
+// passed (their Gray fields are ignored except ExtraUs for Degrade).
+func (s *Switch) InjectGray(mode Mode, g Gray) {
+	if s.mode != None || mode == None {
+		return
+	}
+	if mode == Burst && g.PeriodUs > 0 && g.OnUs >= g.PeriodUs {
+		g.OnUs = g.PeriodUs - 1
+	}
+	s.gray = g
+	s.ops = 0
+	s.Inject(mode, g.ExtraUs)
+}
+
+// InjectGrayAt schedules the gray fault for virtual time t.
+func (s *Switch) InjectGrayAt(t des.Time, mode Mode, g Gray) {
+	s.k.At(t, func() { s.InjectGray(mode, g) })
+}
+
+// grayGate applies the delay-shaped gray modes to an operation about to
+// happen (called from gateRead/gateWrite with any stop already served).
+func (s *Switch) grayGate(p *des.Proc) {
+	switch s.mode {
+	case Drift:
+		extra := s.gray.ExtraUs
+		if ramp := s.gray.RampUs; ramp > 0 {
+			elapsed := s.k.Now() - s.at
+			if elapsed < ramp {
+				extra = extra * elapsed / ramp
+			}
+		}
+		if extra > 0 {
+			p.Delay(extra)
+		}
+	case Burst:
+		period := s.gray.PeriodUs
+		if period <= 0 {
+			return
+		}
+		// Stall to the end of the current on-window; re-check after the
+		// delay in case a repair (or nothing — phase is then past OnUs)
+		// changed the picture.
+		for s.mode == Burst {
+			phase := (s.k.Now() - s.at) % period
+			if phase >= s.gray.OnUs {
+				return
+			}
+			p.Delay(s.gray.OnUs - phase)
+		}
+	}
+}
+
+// transformWrite applies the token-shaped gray modes to a gated write:
+// returns the (possibly corrupted) token and whether to drop it.
+func (s *Switch) transformWrite(tok kpn.Token) (kpn.Token, bool) {
+	switch s.mode {
+	case DropTokens:
+		s.ops++
+		return tok, s.nth()
+	case Corrupt:
+		s.ops++
+		if s.nth() && len(tok.Payload) > 0 {
+			// Flip one payload byte in a copy — cached golden payloads
+			// (kpn.PayloadMemo) are shared and must stay immutable.
+			corrupt := append([]byte(nil), tok.Payload...)
+			idx := int((s.gray.Seed + uint64(s.ops)) % uint64(len(corrupt)))
+			corrupt[idx] ^= 0x5A
+			tok.Payload = corrupt
+		}
+		return tok, false
+	default:
+		return tok, false
+	}
+}
+
+// nth reports whether the current op lands on the every-N schedule.
+func (s *Switch) nth() bool {
+	n := int64(s.gray.EveryN)
+	if n <= 1 {
+		return true
+	}
+	return s.ops%n == 0
+}
+
+// Drops returns how many gated writes the switch has swallowed or
+// corrupted so far (the every-N modes); campaign engines use it to
+// audit that a gray fault actually manifested.
+func (s *Switch) Drops() int64 {
+	if s.mode != DropTokens && s.mode != Corrupt {
+		return 0
+	}
+	n := int64(s.gray.EveryN)
+	if n <= 1 {
+		return s.ops
+	}
+	return (s.ops + n - 1) / n
+}
+
+// Episode is one correlated stop episode scheduled by CorrelatedBursts.
+type Episode struct {
+	Replica int // 0-based switch index
+	StartUs des.Time
+	EndUs   des.Time
+}
+
+// CorrelatedBursts schedules n correlated stop-all episodes across the
+// switches from one seeded schedule — the multi-replica gray-failure
+// class where both replicas degrade from a shared cause (a power rail,
+// a shared interconnect). Episode j starts at a deterministic random
+// instant inside the j-th equal slice of [startUs, startUs+spanUs) and
+// stalls switch i for onUs beginning at start+i·skewUs, so the replicas
+// stall together but not perfectly in phase. The schedule is returned
+// for auditing. Episodes never overlap within one switch as long as
+// onUs + (len(switches)-1)·skewUs < spanUs/n.
+func CorrelatedBursts(switches []*Switch, seed int64, n int, startUs, spanUs, onUs, skewUs des.Time) []Episode {
+	if n < 1 || len(switches) == 0 || spanUs <= 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	slot := spanUs / des.Time(n)
+	width := slot - onUs - des.Time(len(switches)-1)*skewUs
+	if width < 1 {
+		width = 1
+	}
+	var eps []Episode
+	for j := 0; j < n; j++ {
+		base := startUs + des.Time(j)*slot + des.Time(rng.Int63n(int64(width)))
+		for i, sw := range switches {
+			at := base + des.Time(i)*skewUs
+			sw.InjectAt(at, StopAll, 0)
+			sw.RepairAt(at + onUs)
+			eps = append(eps, Episode{Replica: i, StartUs: at, EndUs: at + onUs})
+		}
+	}
+	return eps
+}

@@ -34,6 +34,14 @@ type BuildConfig struct {
 	// initially queued tokens.
 	SelectorPreload map[string]func(i int) kpn.Token
 
+	// Policy selects the detection policy instantiated on every
+	// arbitration channel (one stateful instance per channel). The zero
+	// value keeps the paper's inline first-violation path bit-for-bit.
+	Policy PolicySpec
+	// ValueCheck installs replay-based value cross-checks on selector
+	// channels, keyed by channel name (see Selector.SetValueCheck).
+	ValueCheck map[string]ValueCheck
+
 	// Chip, when non-nil, places every process on its own SCC tile and
 	// charges message-passing latency on inter-tile channel operations.
 	// The replicator is hosted on the producer's tile and the selector
@@ -111,6 +119,15 @@ func Build(k *des.Kernel, net *kpn.Network, cfg BuildConfig) (*System, error) {
 	}
 	sys.Switches[0] = fault.NewSwitch(k)
 	sys.Switches[1] = fault.NewSwitch(k)
+	// Validate the policy spec once; instantiation below is per channel
+	// (policies are stateful sliding windows).
+	if _, err := NewPolicy(cfg.Policy); err != nil {
+		return nil, err
+	}
+	newPolicy := func() Policy {
+		p, _ := NewPolicy(cfg.Policy)
+		return p
+	}
 	record := func(f Fault) {
 		sys.Faults = append(sys.Faults, f)
 		if cfg.OnFault != nil {
@@ -155,6 +172,7 @@ func Build(k *des.Kernel, net *kpn.Network, cfg BuildConfig) (*System, error) {
 			if d, ok := cfg.ReplicatorD[c.Name]; ok {
 				r.DReads = d
 			}
+			r.SetPolicy(newPolicy())
 			sys.Replicators[c.Name] = r
 		case fromCrit && !toCrit: // selector
 			caps, ok := cfg.SelectorCaps[c.Name]
@@ -166,6 +184,10 @@ func Build(k *des.Kernel, net *kpn.Network, cfg BuildConfig) (*System, error) {
 				inits = [2]int{c.InitialTokens, c.InitialTokens}
 			}
 			s := NewSelector(k, c.Name, caps, inits, cfg.SelectorD[c.Name], cfg.SelectorPreload[c.Name], record)
+			s.SetPolicy(newPolicy())
+			if vc := cfg.ValueCheck[c.Name]; vc != nil {
+				s.SetValueCheck(vc)
+			}
 			sys.Selectors[c.Name] = s
 		case fromCrit && toCrit: // duplicated internal FIFO
 			for r := 1; r <= 2; r++ {

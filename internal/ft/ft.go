@@ -35,15 +35,21 @@ const (
 	// ReasonConsumerStall: a selector space counter exceeded its virtual
 	// capacity, i.e. the replica would stall the consumer (§3.3).
 	ReasonConsumerStall Reason = "consumer-stall"
+	// ReasonValueDivergence: a replica's token failed the replay-based
+	// value cross-check against the golden payload for its stream
+	// position (RepTFD-style; see Selector.SetValueCheck).
+	ReasonValueDivergence Reason = "value-divergence"
 )
 
 // Fault is one detection event. Replica is 1-based, matching the
-// paper's R_1/R_2 notation.
+// paper's R_1/R_2 notation. Kind distinguishes timing-bound violations
+// from value (payload) divergence.
 type Fault struct {
 	Channel string
 	Replica int
 	At      des.Time
 	Reason  Reason
+	Kind    FaultKind
 }
 
 // String implements fmt.Stringer.
@@ -62,6 +68,10 @@ type faultState struct {
 	at      [2]des.Time
 	reasons [2]Reason
 	handler FaultHandler
+	// policy, when non-nil, arbitrates detection samples instead of the
+	// inline first-violation conviction (see policy.go). Per-channel
+	// instance; must be installed before the kernel runs.
+	policy Policy
 }
 
 // flag marks replica r (0-based) faulty if it is not already, invoking
@@ -74,15 +84,46 @@ func (fs *faultState) flag(r int, reason Reason) {
 	fs.at[r] = fs.k.Now()
 	fs.reasons[r] = reason
 	if fs.handler != nil {
-		fs.handler(Fault{Channel: fs.channel, Replica: r + 1, At: fs.k.Now(), Reason: reason})
+		fs.handler(Fault{Channel: fs.channel, Replica: r + 1, At: fs.k.Now(), Reason: reason, Kind: kindOf(reason)})
 	}
 }
 
+// sample routes one detection-predicate evaluation through the policy.
+// With no policy it reproduces the inline behavior: convict iff
+// violated. forgiven reports a violation the policy chose to ride out
+// (probe sites surface it as ProbeForgiven).
+func (fs *faultState) sample(r int, reason Reason, violation bool) (convict, forgiven bool) {
+	if fs.policy == nil {
+		return violation, false
+	}
+	convict = fs.policy.Sample(r, reason, violation)
+	return convict, violation && !convict
+}
+
+// setPolicy installs the channel's detection policy (nil keeps the
+// inline first-violation path).
+func (fs *faultState) setPolicy(p Policy) { fs.policy = p }
+
+// PolicyInfo reports the installed policy's name and replica r's
+// (1-based) current window state for the reason, rendered
+// "violations/k". Both are empty on the inline path — convictions then
+// carry no policy annotation.
+func (fs *faultState) PolicyInfo(r int, reason Reason) (name, window string) {
+	if fs.policy == nil {
+		return "", ""
+	}
+	v, k := fs.policy.Window(r-1, reason)
+	return fs.policy.Name(), fmt.Sprintf("%d/%d", v, k)
+}
+
 // reinstate clears replica r's (0-based) conviction so detection re-arms
-// for the next fault. The last conviction's time and reason remain
-// readable until the replica is convicted again.
+// for the next fault, and resets its policy window — a recovered
+// replica starts with a clean violation history.
 func (fs *faultState) reinstate(r int) {
 	fs.faulty[r] = false
+	if fs.policy != nil {
+		fs.policy.Reset(r)
+	}
 }
 
 // Faulty reports whether replica r (1-based) has been marked faulty, and

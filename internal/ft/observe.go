@@ -98,7 +98,7 @@ func Instrument(sys *System, reg *obs.Registry) {
 		chLabel := obs.Labels{"channel": name}
 		writes := reg.Counter("ftpn_ft_rep_writes_total", "Tokens accepted from the producer.", chLabel)
 		lost := reg.Counter("ftpn_ft_rep_lost_total", "Tokens lost because every replica was faulty.", chLabel)
-		var enq, reads, slide, reint [2]*obs.Counter
+		var enq, reads, slide, reint, forgiven [2]*obs.Counter
 		var fill [2]*obs.Gauge
 		var dist [2]*obs.Histogram
 		for i := 0; i < 2; i++ {
@@ -107,6 +107,7 @@ func Instrument(sys *System, reg *obs.Registry) {
 			reads[i] = reg.Counter("ftpn_ft_rep_reads_total", "Tokens consumed by a replica.", rl)
 			slide[i] = reg.Counter("ftpn_ft_rep_slide_drops_total", "Oldest tokens discarded by post-recovery queue re-arming.", rl)
 			reint[i] = reg.Counter("ftpn_ft_reintegrations_total", "Replica re-admissions after repair.", rl)
+			forgiven[i] = reg.Counter("ftpn_ft_forgiven_total", "Detection violations ridden out by the (m,k) policy.", rl)
 			fill[i] = reg.Gauge("ftpn_ft_rep_fill", "Current replica queue fill.", rl)
 			dist[i] = reg.Histogram("ftpn_ft_rep_fill_dist", "Replica queue fill observed at enqueue/read.", fillBuckets, rl)
 		}
@@ -126,6 +127,8 @@ func Instrument(sys *System, reg *obs.Registry) {
 				slide[e.Replica-1].Inc()
 			case ProbeDropLost:
 				lost.Inc()
+			case ProbeForgiven:
+				forgiven[e.Replica-1].Inc()
 			case ProbeReintegrate:
 				reint[e.Replica-1].Inc()
 				fill[e.Replica-1].Set(int64(e.Fill))
@@ -139,7 +142,7 @@ func Instrument(sys *System, reg *obs.Registry) {
 		reads := reg.Counter("ftpn_ft_sel_reads_total", "Tokens delivered to the consumer.", chLabel)
 		fill := reg.Gauge("ftpn_ft_sel_fill", "Current shared FIFO fill.", chLabel)
 		dist := reg.Histogram("ftpn_ft_sel_fill_dist", "Shared FIFO fill observed at write/read.", fillBuckets, chLabel)
-		var enq, dup, rsd, aligned, reint [2]*obs.Counter
+		var enq, dup, rsd, aligned, reint, forgiven, vdrop [2]*obs.Counter
 		var lead [2]*obs.Gauge
 		for i := 0; i < 2; i++ {
 			rl := replicaLabels(name, i+1)
@@ -148,6 +151,8 @@ func Instrument(sys *System, reg *obs.Registry) {
 			rsd[i] = reg.Counter("ftpn_ft_sel_resync_drops_total", "Stale tokens discarded during resynchronization.", rl)
 			aligned[i] = reg.Counter("ftpn_ft_sel_aligned_total", "Resynchronizations completed at an alignment point.", rl)
 			reint[i] = reg.Counter("ftpn_ft_reintegrations_total", "Replica re-admissions after repair.", rl)
+			forgiven[i] = reg.Counter("ftpn_ft_forgiven_total", "Detection violations ridden out by the (m,k) policy.", rl)
+			vdrop[i] = reg.Counter("ftpn_ft_sel_value_drops_total", "Tokens discarded by the replay value cross-check.", rl)
 			lead[i] = reg.Gauge("ftpn_ft_sel_lead", "Interface pair-index lead over the other side.", rl)
 		}
 		s.SetProbe(chainProbe(s.probe, func(e ProbeEvent) {
@@ -168,6 +173,10 @@ func Instrument(sys *System, reg *obs.Registry) {
 				rsd[e.Replica-1].Inc()
 			case ProbeAligned:
 				aligned[e.Replica-1].Inc()
+			case ProbeForgiven:
+				forgiven[e.Replica-1].Inc()
+			case ProbeDropValue:
+				vdrop[e.Replica-1].Inc()
 			case ProbeReintegrate:
 				reint[e.Replica-1].Inc()
 			}
@@ -210,6 +219,8 @@ func InstrumentTrace(sys *System, rec *obs.TraceRecorder) {
 				rec.Counter(track, fmt.Sprintf("R%d", e.Replica), e.At, int64(e.Fill))
 			case ProbeReintegrate:
 				rec.Instant(fmt.Sprintf("reintegrate R%d on %s (fill %d)", e.Replica, e.Channel, e.Fill), e.At)
+			case ProbeForgiven:
+				rec.Instant(fmt.Sprintf("forgiven R%d on %s (lead %d)", e.Replica, e.Channel, e.Lead), e.At)
 			}
 		}))
 	}
@@ -224,10 +235,14 @@ func InstrumentTrace(sys *System, rec *obs.TraceRecorder) {
 				rec.Instant(fmt.Sprintf("resync start R%d on %s", e.Replica, e.Channel), e.At)
 			case ProbeAligned:
 				rec.Instant(fmt.Sprintf("realigned R%d on %s", e.Replica, e.Channel), e.At)
+			case ProbeForgiven:
+				rec.Instant(fmt.Sprintf("forgiven R%d on %s (lead %d)", e.Replica, e.Channel, e.Lead), e.At)
+			case ProbeDropValue:
+				rec.Instant(fmt.Sprintf("value drop R%d on %s", e.Replica, e.Channel), e.At)
 			}
 		}))
 	}
 	sys.AddFaultHook(func(f Fault) {
-		rec.Instant(fmt.Sprintf("fault R%d on %s (%s)", f.Replica, f.Channel, f.Reason), f.At)
+		rec.Instant(fmt.Sprintf("%s fault R%d on %s (%s)", f.Kind, f.Replica, f.Channel, f.Reason), f.At)
 	})
 }

@@ -38,6 +38,14 @@ const (
 	// ProbeAligned: a resynchronizing selector interface found its
 	// alignment point and is fully re-integrated.
 	ProbeAligned
+	// ProbeForgiven: a detection predicate was violated but the
+	// channel's (m,k) policy rode it out instead of convicting. Lead
+	// carries the divergence at the violation where meaningful.
+	ProbeForgiven
+	// ProbeDropValue: a selector interface's token failed the
+	// replay-based value cross-check (or followed one that did) and was
+	// discarded uncounted, letting the healthy interface own the pair.
+	ProbeDropValue
 )
 
 // String names the kind for logs and trace markers.
@@ -61,6 +69,10 @@ func (k ProbeKind) String() string {
 		return "reintegrate"
 	case ProbeAligned:
 		return "aligned"
+	case ProbeForgiven:
+		return "forgiven"
+	case ProbeDropValue:
+		return "drop-value"
 	default:
 		return "unknown"
 	}

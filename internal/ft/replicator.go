@@ -208,12 +208,24 @@ func (r *Replicator) write(p *des.Proc, tok kpn.Token) {
 		}
 		if r.space(i) == 0 {
 			if !r.slide[i] {
-				r.flag(i, ReasonQueueFull)
-				continue
+				convict, forgiven := r.sample(i, ReasonQueueFull, true)
+				if convict {
+					r.flag(i, ReasonQueueFull)
+					continue
+				}
+				// A forgiven overflow re-arms like the recovery slide:
+				// drop the oldest token, keep the window contiguous and
+				// position-true. The replica skips that token — masking
+				// stays exact while the other replica is the reference,
+				// and the next re-integration heals the skew.
+				if forgiven && r.probe != nil {
+					r.probe(ProbeEvent{At: r.k.Now(), Channel: r.name, Kind: ProbeForgiven, Replica: i + 1, Fill: len(r.queues[i])})
+				}
 			}
-			// Continuous re-arm until the first post-recovery read: keep
-			// the newest contiguous window, advancing the replica's
-			// virtual consumption position past the dropped token.
+			// Continuous re-arm until the first post-recovery read (or on
+			// a policy-forgiven overflow): keep the newest contiguous
+			// window, advancing the replica's virtual consumption
+			// position past the dropped token.
 			copy(r.queues[i], r.queues[i][1:])
 			r.queues[i] = r.queues[i][:len(r.queues[i])-1]
 			r.purged[i]++
@@ -221,6 +233,10 @@ func (r *Replicator) write(p *des.Proc, tok kpn.Token) {
 			if fn := r.probe; fn != nil {
 				fn(ProbeEvent{At: r.k.Now(), Channel: r.name, Kind: ProbeDropSlide, Replica: i + 1, Fill: len(r.queues[i])})
 			}
+		} else if r.policy != nil {
+			// Space available: a clean queue-overflow sample slides the
+			// (m,k) window toward forgiveness.
+			r.sample(i, ReasonQueueFull, false)
 		}
 		r.queues[i] = append(r.queues[i], tok)
 		r.appended[i]++
@@ -270,11 +286,16 @@ func (r *Replicator) read(p *des.Proc, i int) kpn.Token {
 		// Read-divergence detection: the *other* replica lags if this
 		// one has consumed D more tokens (positions rebased across
 		// re-integration). Convictions involving a replica still inside
-		// its re-integration grace are excused.
+		// its re-integration grace are excused. Each evaluation is one
+		// policy sample for the lagging side.
 		other := 1 - i
-		if !r.faulty[other] && r.graceReads[i] == 0 && r.graceReads[other] == 0 &&
-			r.effReads(i)-r.effReads(other) >= d {
-			r.flag(other, ReasonDivergence)
+		if !r.faulty[other] && r.graceReads[i] == 0 && r.graceReads[other] == 0 {
+			lead := r.effReads(i) - r.effReads(other)
+			if convict, forgiven := r.sample(other, ReasonDivergence, lead >= d); convict {
+				r.flag(other, ReasonDivergence)
+			} else if forgiven && r.probe != nil {
+				r.probe(ProbeEvent{At: r.k.Now(), Channel: r.name, Kind: ProbeForgiven, Replica: other + 1, Fill: len(r.queues[other]), Lead: lead})
+			}
 		}
 	}
 	return tok

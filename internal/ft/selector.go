@@ -70,6 +70,15 @@ type Selector struct {
 	// in-flight backlog, which is not a model violation by the other
 	// side.
 	selGrace [2]int64
+	// vcheck, when non-nil, cross-checks every counted write against the
+	// golden replay by pair position (RepTFD-style value detection).
+	vcheck ValueCheck
+	// valueBad latches an interface convicted for value divergence: its
+	// writes are discarded uncounted — the healthy interface owns every
+	// pair — until re-integration re-aligns it.
+	valueBad [2]bool
+	// valueDrops counts tokens discarded by the value path.
+	valueDrops [2]int64
 
 	fifo []kpn.Token
 	head int
@@ -167,6 +176,18 @@ func (s *Selector) Reads() int64             { return s.reads }
 func (s *Selector) ResyncDrops(replica int) int64 { return s.resyncDrops[replica-1] }
 func (s *Selector) Resyncing(replica int) bool    { return s.resync[replica-1] }
 
+// SetValueCheck installs the replay-based value cross-check applied to
+// every counted write (nil disables). A failing check convicts the
+// writing interface with ReasonValueDivergence and discards the token
+// uncounted, so the healthy interface's write becomes the pair's first
+// copy and the consumer stream stays golden even though the corrupt
+// replica's timing was clean.
+func (s *Selector) SetValueCheck(check ValueCheck) { s.vcheck = check }
+
+// ValueDrops returns how many tokens interface k (1-based) had
+// discarded by the value cross-check path.
+func (s *Selector) ValueDrops(replica int) int64 { return s.valueDrops[replica-1] }
+
 // effW is interface i's pair index: how many duplicate pairs it has
 // participated in since its last (re-)integration base.
 func (s *Selector) effW(i int) int64 { return s.wcnt[i] - s.wBase[i] }
@@ -242,6 +263,7 @@ func (s *Selector) align(i, h int, back int64) {
 	// the stream front, transiently leading the healthy replica by up to
 	// its in-flight backlog; do not convict the healthy side for that.
 	s.selGrace[i] = int64(s.caps[i]) + s.D
+	s.valueBad[i] = false
 	s.reinstate(i)
 	if fn := s.probe; fn != nil {
 		fn(ProbeEvent{At: s.k.Now(), Channel: s.name, Kind: ProbeAligned, Replica: i + 1, Fill: s.Fill()})
@@ -276,6 +298,16 @@ func (s *Selector) write(p *des.Proc, i int, tok kpn.Token) {
 				continue
 			}
 		}
+		if s.valueBad[i] {
+			// A value-convicted interface's stream is corrupt: discard
+			// uncounted (no space, pair or Seq bookkeeping) so the healthy
+			// interface owns every pair until re-integration re-aligns it.
+			s.valueDrops[i]++
+			if fn := s.probe; fn != nil {
+				fn(ProbeEvent{At: s.k.Now(), Channel: s.name, Kind: ProbeDropValue, Replica: i + 1, Fill: s.Fill()})
+			}
+			return
+		}
 		if s.space[i] == 0 {
 			p.Wait(&s.notFull[i])
 			continue // a Reintegrate may have re-routed this interface
@@ -283,6 +315,28 @@ func (s *Selector) write(p *des.Proc, i int, tok kpn.Token) {
 		break
 	}
 	other := 1 - i
+	// Replay-based value cross-check (RepTFD): the token must match the
+	// golden replay at the pair position it is writing into. A mismatch
+	// is discarded uncounted — the other interface's copy becomes the
+	// pair's first token, so masking stays exact — and convicts the
+	// writer even though its timing is clean. Checks are gated on stream
+	// identity by the ValueCheck itself (see the type's contract): a
+	// replica writing a *different stream position* into the pair (e.g.
+	// after a forgiven overflow skipped one of its inputs) is a timing
+	// skew for the timing detectors, not corruption.
+	if s.vcheck != nil && !s.vcheck(s.effW(i)+1, tok) {
+		s.valueDrops[i]++
+		if fn := s.probe; fn != nil {
+			fn(ProbeEvent{At: s.k.Now(), Channel: s.name, Kind: ProbeDropValue, Replica: i + 1, Fill: s.Fill()})
+		}
+		if convict, forgiven := s.sample(i, ReasonValueDivergence, true); convict {
+			s.valueBad[i] = true
+			s.flag(i, ReasonValueDivergence)
+		} else if forgiven && s.probe != nil {
+			s.probe(ProbeEvent{At: s.k.Now(), Channel: s.name, Kind: ProbeForgiven, Replica: i + 1})
+		}
+		return
+	}
 	enq := s.effW(i) >= s.effW(other)
 	if enq {
 		// First token of its duplicate pair: enqueue.
@@ -318,10 +372,16 @@ func (s *Selector) write(p *des.Proc, i int, tok kpn.Token) {
 	// Divergence detection (§3.3): writer i leading by >= D implies the
 	// other replica's output has fallen behind its envelope. An
 	// interface in resync is judged only after alignment, and a freshly
-	// aligned interface's transient lead is excused by its grace.
-	if s.D > 0 && !s.faulty[other] && !s.resync[other] && s.selGrace[i] == 0 &&
-		s.effW(i)-s.effW(other) >= s.D {
-		s.flag(other, ReasonDivergence)
+	// aligned interface's transient lead is excused by its grace. Each
+	// evaluation is one policy sample; the inline path (nil policy)
+	// convicts on the first violation.
+	if s.D > 0 && !s.faulty[other] && !s.resync[other] && s.selGrace[i] == 0 {
+		lead := s.effW(i) - s.effW(other)
+		if convict, forgiven := s.sample(other, ReasonDivergence, lead >= s.D); convict {
+			s.flag(other, ReasonDivergence)
+		} else if forgiven && s.probe != nil {
+			s.probe(ProbeEvent{At: s.k.Now(), Channel: s.name, Kind: ProbeForgiven, Replica: other + 1, Fill: s.Fill(), Lead: lead})
+		}
 	}
 }
 
@@ -346,9 +406,14 @@ func (s *Selector) read(p *des.Proc) kpn.Token {
 		s.space[i]++
 		// Consumer-stall detection: space beyond the virtual capacity
 		// means this replica no longer backs the tokens being consumed.
-		// An interface mid-resync is exempt until it re-aligns.
-		if !s.faulty[i] && !s.resync[i] && s.space[i] > int64(s.caps[i]) {
-			s.flag(i, ReasonConsumerStall)
+		// An interface mid-resync is exempt until it re-aligns. Each
+		// read is one policy sample per interface.
+		if !s.faulty[i] && !s.resync[i] {
+			if convict, forgiven := s.sample(i, ReasonConsumerStall, s.space[i] > int64(s.caps[i])); convict {
+				s.flag(i, ReasonConsumerStall)
+			} else if forgiven && s.probe != nil {
+				s.probe(ProbeEvent{At: s.k.Now(), Channel: s.name, Kind: ProbeForgiven, Replica: i + 1, Fill: s.Fill()})
+			}
 		}
 		s.k.Broadcast(&s.notFull[i])
 	}

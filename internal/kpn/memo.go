@@ -12,8 +12,8 @@ import (
 // PayloadMemo caches the deterministic payload pipeline of an
 // application across simulation runs. Every producer generator and
 // critical-stage payload function in internal/apps is a pure function of
-// the stream index (fault modes in this repository are timing-only: they
-// stop or slow a replica but never corrupt data), so when an experiment
+// the stream index (the only fault mode that touches data, fault.Corrupt,
+// flips bytes in a private copy of the gated token), so when an experiment
 // executes the same workload hundreds of times — fault-injection
 // campaigns, Table 2 sweeps — each stage's output for stream index seq
 // is recomputed identically on every run. The memo computes it once and
@@ -57,6 +57,22 @@ func (m *PayloadMemo) do(stage string, seq int64, compute func() []byte) []byte 
 	out := compute()
 	m.m.Store(key, out)
 	return out
+}
+
+// Lookup returns the cached payload for (stage, seq) without computing
+// on a miss. Value-fault detection (ft.Selector.SetValueCheck) uses it
+// as the golden replay reference, RepTFD-style: the memo holds exactly
+// the bytes a fault-free execution produces, so any replica payload
+// that differs from a cache hit is a value fault. Nil-memo safe.
+func (m *PayloadMemo) Lookup(stage string, seq int64) ([]byte, bool) {
+	if m == nil {
+		return nil, false
+	}
+	v, ok := m.m.Load(memoKey{stage, seq})
+	if !ok {
+		return nil, false
+	}
+	return v.([]byte), true
 }
 
 // Stats reports cache hits and misses (for tests and benchmarks).

@@ -1,0 +1,31 @@
+package kpn
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestPayloadMemoLookup: Lookup hits only what do() cached, never
+// computes, and is nil-safe.
+func TestPayloadMemoLookup(t *testing.T) {
+	m := NewPayloadMemo()
+	if _, ok := m.Lookup("s", 1); ok {
+		t.Fatal("Lookup hit an empty memo")
+	}
+	gen := m.Gen("s", func(i int64) []byte { return []byte{byte(i), byte(i + 1)} })
+	want := gen(1)
+	got, ok := m.Lookup("s", 1)
+	if !ok || !bytes.Equal(got, want) {
+		t.Fatalf("Lookup = (%v, %v), want (%v, true)", got, ok, want)
+	}
+	if _, ok := m.Lookup("s", 2); ok {
+		t.Fatal("Lookup hit an uncached index")
+	}
+	if _, ok := m.Lookup("other", 1); ok {
+		t.Fatal("Lookup hit a different stage")
+	}
+	var nilMemo *PayloadMemo
+	if _, ok := nilMemo.Lookup("s", 1); ok {
+		t.Fatal("nil memo Lookup returned a hit")
+	}
+}

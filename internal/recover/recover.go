@@ -77,12 +77,24 @@ type Conviction struct {
 	// recovery (false when one was already pending for the replica or
 	// the budget was exhausted).
 	RecoveryScheduled bool
+	// Policy names the detection policy that convicted ("" for the
+	// inline first-violation path), Window its violation window at
+	// conviction ("violations/k", e.g. "3/16" for an (m,k) policy).
+	Policy string
+	Window string
+	// Kind distinguishes timing convictions from value (replay
+	// cross-check) convictions.
+	Kind ft.FaultKind
 }
 
 // String renders the conviction for logs.
 func (c Conviction) String() string {
-	return fmt.Sprintf("%s: R%d convicted at %dus (%s, divergence %d, fill %d)",
-		c.Fault.Channel, c.Fault.Replica, c.Fault.At, c.Fault.Reason, c.Divergence, c.Fill)
+	pol := ""
+	if c.Policy != "" {
+		pol = fmt.Sprintf(", policy %s %s", c.Policy, c.Window)
+	}
+	return fmt.Sprintf("%s: R%d convicted at %dus (%s %s, divergence %d, fill %d%s)",
+		c.Fault.Channel, c.Fault.Replica, c.Fault.At, c.Kind, c.Fault.Reason, c.Divergence, c.Fill, pol)
 }
 
 // Event records one completed recovery.
@@ -138,13 +150,15 @@ func (m *Manager) Observe(reg *obs.Registry) { m.reg = reg }
 
 // conviction samples the detecting channel's state for a fault.
 func (m *Manager) conviction(f ft.Fault, scheduled bool) Conviction {
-	c := Conviction{Fault: f, RecoveryScheduled: scheduled}
+	c := Conviction{Fault: f, RecoveryScheduled: scheduled, Kind: f.Kind}
 	if r, ok := m.sys.Replicators[f.Channel]; ok {
 		c.Divergence = r.Divergence(f.Replica)
 		c.Fill = r.Fill(f.Replica)
+		c.Policy, c.Window = r.PolicyInfo(f.Replica, f.Reason)
 	} else if s, ok := m.sys.Selectors[f.Channel]; ok {
 		c.Divergence = s.Divergence(f.Replica)
 		c.Fill = s.Fill()
+		c.Policy, c.Window = s.PolicyInfo(f.Replica, f.Reason)
 	}
 	return c
 }

@@ -1,0 +1,158 @@
+package rtc
+
+// (m,k) weakly-hard generalizations of the detection analyses of
+// Section 3.4 (eqs. 5-8). Under an (m,k) policy (Liang et al.) a
+// replica is convicted only when more than m of its last k detection
+// samples were violations, so a permanently faulty replica must first
+// accumulate m+1 violating samples where the binary policy needed one.
+//
+// Divergence threshold under (m,k): D itself must NOT shrink. Eq. 5's D
+// is the smallest bound two fault-free replicas can never reach; any
+// smaller D' admits fault-free excursions that can persist for
+// unboundedly many consecutive samples (the envelopes allow a replica
+// to sit at the supremum difference for arbitrarily long), so no finite
+// m forgives them safely. The relaxation under (m,k) is therefore in
+// the conviction rule, not the threshold, and the detection-latency
+// bounds below account for the extra m forgiven violations.
+//
+// Detection latency: the binary bound (eq. 6) inverts the healthy
+// replica's lower curve at a 2D-1 token gap — D-1 tokens of pre-fault
+// slack, then D more to reach the threshold. Divergence samples arrive
+// one per counted write of the healthy side, and each write past the
+// threshold is one violation, so the (m,k) policy convicts at the
+// (m+1)-th violating write: the gap to invert becomes 2D-1+m. k does
+// not appear — a permanent fault violates every sample once past the
+// threshold, so any k > m window fills with violations regardless of
+// its length (k only controls how much *history* a transient needs to
+// outlive).
+
+// DetectionBoundMK generalizes eq. 6: the smallest Δ such that the
+// healthy replica's lower curve exceeds the faulty replica's post-fault
+// upper curve by 2D-1+m tokens — the (m+1)-th violating divergence
+// sample, at which an (m,k) policy with any k > m convicts. m = 0
+// reproduces DetectionBound exactly.
+func DetectionBoundMK(healthyLower, faultyUpper Curve, d Count, m int, horizon Time) (Time, error) {
+	h, err := validateHorizon(horizon)
+	if err != nil {
+		return 0, err
+	}
+	if m < 0 {
+		m = 0
+	}
+	need := 2*d - 1 + Count(m)
+	hb, fb := Sampled(healthyLower, h), Sampled(faultyUpper, h)
+	for _, p := range mergePoints(h, hb.Breakpoints(h), fb.Breakpoints(h)) {
+		if hb.Eval(p)-fb.Eval(p) >= need {
+			return p, nil
+		}
+	}
+	return 0, ErrUnreachable
+}
+
+// MaxDetectionBoundMK generalizes eq. 7 over all replica pairs under an
+// (m,k) policy: the worst case over which replica is faulty of the
+// per-pair DetectionBoundMK infimum.
+func MaxDetectionBoundMK(healthyLowers, faultyUppers []Curve, d Count, m int, horizon Time) (Time, error) {
+	if len(healthyLowers) != len(faultyUppers) || len(healthyLowers) < 2 {
+		return 0, ErrUnreachable
+	}
+	var worst Time
+	found := false
+	for j := range faultyUppers {
+		for i := range healthyLowers {
+			if i == j {
+				continue
+			}
+			b, err := DetectionBoundMK(healthyLowers[i], faultyUppers[j], d, m, horizon)
+			if err != nil {
+				return 0, err
+			}
+			if b > worst {
+				worst = b
+			}
+			found = true
+		}
+	}
+	if !found {
+		return 0, ErrUnreachable
+	}
+	return worst, nil
+}
+
+// StoppedDetectionBoundMK specializes eq. 8 under (m,k): the faulty
+// replica produces nothing after the fault, so the bound is the worst
+// case over replicas of inf { Δ | α_i^l(Δ) >= 2D-1+m }. m = 0
+// reproduces StoppedDetectionBound exactly.
+func StoppedDetectionBoundMK(healthyLowers []Curve, d Count, m int, horizon Time) (Time, error) {
+	var worst Time
+	for _, l := range healthyLowers {
+		b, err := DetectionBoundMK(l, Zero, d, m, horizon)
+		if err != nil {
+			return 0, err
+		}
+		if b > worst {
+			worst = b
+		}
+	}
+	return worst, nil
+}
+
+// ForgivenStallBound is the design-side converse: the largest outage
+// duration Δ a transient glitch may impose on a replica without an
+// (m,k) divergence policy ever convicting it. While the replica is
+// silent the healthy side writes at most α_h^u(Δ) tokens; each write
+// once the gap reaches D is one violation, so the glitch stays within
+// budget when α_h^u(Δ) <= 2D-2+m (one less than the conviction gap of
+// DetectionBoundMK). The bound is the largest merged breakpoint (and
+// segment interior) satisfying that, scanned over [0, horizon]; 0 means
+// even an instantaneous stall risks conviction only if D = 0.
+func ForgivenStallBound(healthyUpper Curve, d Count, m int, horizon Time) (Time, error) {
+	h, err := validateHorizon(horizon)
+	if err != nil {
+		return 0, err
+	}
+	if m < 0 {
+		m = 0
+	}
+	budget := 2*d - 2 + Count(m)
+	hb := Sampled(healthyUpper, h)
+	// α_h^u is non-decreasing, so the admissible set is a prefix [0, Δ*].
+	// Scan breakpoints for the first violation; Δ* is one tick before it
+	// (staircases are right-continuous integer-tick curves).
+	var last Time = h
+	for _, p := range hb.Breakpoints(h) {
+		if hb.Eval(p) > budget {
+			if p == 0 {
+				return 0, nil
+			}
+			last = p - 1
+			break
+		}
+	}
+	return last, nil
+}
+
+// StallViolationBudget estimates the (m,k) violation budget m needed to
+// forgive a transient stall of glitchUs on a replica: while stalled and
+// then catching up, the healthy side issues violating divergence
+// samples; bounding the catch-up phase by a second glitch-length of
+// writes gives m ≈ α_h^u(2·glitch). The factor 2 is a heuristic backed
+// by the workloads' low stage utilization (a recovered replica drains
+// its backlog much faster than the period, so catch-up adds well under
+// one glitch-length of violating samples); detectbench measures the
+// real margin. Returns at least 1.
+func StallViolationBudget(healthyUpper Curve, glitchUs Time, horizon Time) (int, error) {
+	h, err := validateHorizon(horizon)
+	if err != nil {
+		return 0, err
+	}
+	at := 2 * glitchUs
+	if at > h {
+		at = h
+	}
+	m := int(Sampled(healthyUpper, h).Eval(at))
+	if m < 1 {
+		m = 1
+	}
+	return m, nil
+}

@@ -1,0 +1,141 @@
+package rtc
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomPJD draws a well-formed PJD envelope for property tests.
+func randomPJD(rng *rand.Rand) PJD {
+	p := Time(100 + rng.Intn(2000))
+	j := Time(rng.Intn(int(3 * p)))
+	var d Time
+	if rng.Intn(2) == 0 && p > 2 {
+		d = Time(1 + rng.Intn(int(p/2)))
+	}
+	return PJD{Period: p, Jitter: j, MinDist: d}
+}
+
+// TestDetectionBoundMKZeroMatchesBinary pins the (0,k) degeneration:
+// m = 0 must reproduce eq. 6/8 exactly on random envelopes.
+func TestDetectionBoundMKZeroMatchesBinary(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		healthy := randomPJD(rng)
+		faulty := randomPJD(rng)
+		h := Horizon(healthy, faulty) * 8
+		d := Count(1 + rng.Intn(6))
+
+		want, errW := DetectionBound(healthy.Lower(), faulty.Upper(), d, h)
+		got, errG := DetectionBoundMK(healthy.Lower(), faulty.Upper(), d, 0, h)
+		if (errW == nil) != (errG == nil) {
+			t.Fatalf("trial %d: binary err %v, mk(0) err %v", trial, errW, errG)
+		}
+		if errW == nil && want != got {
+			t.Fatalf("trial %d: DetectionBound = %d, DetectionBoundMK(m=0) = %d", trial, want, got)
+		}
+
+		wantS, errW := StoppedDetectionBound([]Curve{healthy.Lower(), faulty.Lower()}, d, h)
+		gotS, errG := StoppedDetectionBoundMK([]Curve{healthy.Lower(), faulty.Lower()}, d, 0, h)
+		if (errW == nil) != (errG == nil) {
+			t.Fatalf("trial %d: stopped binary err %v, mk(0) err %v", trial, errW, errG)
+		}
+		if errW == nil && wantS != gotS {
+			t.Fatalf("trial %d: StoppedDetectionBound = %d, MK(m=0) = %d", trial, wantS, gotS)
+		}
+	}
+}
+
+// TestDetectionBoundMKMonotoneInM: forgiving more violations can only
+// delay detection, and each extra forgiven violation costs at least the
+// envelope's minimum token spacing... at least non-strictly: the bound
+// is non-decreasing in m.
+func TestDetectionBoundMKMonotoneInM(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		healthy := randomPJD(rng)
+		h := Horizon(healthy) * 16
+		d := Count(1 + rng.Intn(4))
+		prev := Time(-1)
+		for m := 0; m <= 8; m++ {
+			b, err := DetectionBoundMK(healthy.Lower(), Zero, d, m, h)
+			if err != nil {
+				t.Fatalf("trial %d m=%d: %v", trial, m, err)
+			}
+			if b < prev {
+				t.Fatalf("trial %d: bound decreased from %d to %d at m=%d", trial, prev, b, m)
+			}
+			prev = b
+		}
+	}
+}
+
+// TestMaxDetectionBoundMKZeroMatchesBinary pins eq. 7's degeneration.
+func TestMaxDetectionBoundMKZeroMatchesBinary(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 100; trial++ {
+		a, b := randomPJD(rng), randomPJD(rng)
+		fa, fb := randomPJD(rng), randomPJD(rng)
+		h := Horizon(a, b, fa, fb) * 8
+		d := Count(1 + rng.Intn(5))
+		lowers := []Curve{a.Lower(), b.Lower()}
+		uppers := []Curve{fa.Upper(), fb.Upper()}
+		want, errW := MaxDetectionBound(lowers, uppers, d, h)
+		got, errG := MaxDetectionBoundMK(lowers, uppers, d, 0, h)
+		if (errW == nil) != (errG == nil) {
+			continue // both paths agree on reachability below
+		}
+		if errW == nil && want != got {
+			t.Fatalf("trial %d: MaxDetectionBound = %d, MK(m=0) = %d", trial, want, got)
+		}
+	}
+}
+
+// TestForgivenStallBound checks the forgiveness/detection duality on
+// random envelopes: a stall no longer than the forgiven bound keeps the
+// healthy side's worst-case token count within the conviction budget,
+// and one tick past it can exceed it.
+func TestForgivenStallBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 100; trial++ {
+		healthy := randomPJD(rng)
+		h := Horizon(healthy) * 16
+		d := Count(1 + rng.Intn(4))
+		m := rng.Intn(6)
+		bound, err := ForgivenStallBound(healthy.Upper(), d, m, h)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		budget := 2*d - 2 + Count(m)
+		up := Sampled(healthy.Upper(), h)
+		if bound > 0 && up.Eval(bound) > budget {
+			t.Fatalf("trial %d: α^u(%d) = %d exceeds budget %d inside the forgiven bound",
+				trial, bound, up.Eval(bound), budget)
+		}
+		if bound+1 <= h && up.Eval(bound+1) <= budget && bound != h {
+			t.Fatalf("trial %d: bound %d not maximal (α^u(%d) = %d <= %d)",
+				trial, bound, bound+1, up.Eval(bound+1), budget)
+		}
+	}
+}
+
+// TestStallViolationBudget sanity: the budget is positive and grows
+// (weakly) with the glitch length.
+func TestStallViolationBudget(t *testing.T) {
+	healthy := PJD{Period: 1000, Jitter: 500}
+	h := Horizon(healthy) * 16
+	prev := 0
+	for _, g := range []Time{0, 500, 1000, 5000, 20000} {
+		m, err := StallViolationBudget(healthy.Upper(), g, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m < 1 {
+			t.Fatalf("budget %d < 1 for glitch %d", m, g)
+		}
+		if m < prev {
+			t.Fatalf("budget shrank from %d to %d at glitch %d", prev, m, g)
+		}
+		prev = m
+	}
+}
