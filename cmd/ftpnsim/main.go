@@ -11,6 +11,7 @@
 //	ftpnsim -exp corebench -out BENCH_PR5.json
 //	ftpnsim -exp shardbench -shards 1,2,4,8 -out BENCH_PR6.json
 //	ftpnsim -exp detectbench -runs 25 -seed 1 -out BENCH_PR7.json
+//	ftpnsim -exp topobench -n 1000 -seed 1 -out BENCH_PR8.json
 //	ftpnsim -exp campaign -policy mk+value -mk 2,16
 //	ftpnsim -exp table2 -app adpcm -tracefile out.json
 //	ftpnsim -exp campaign -cpuprofile cpu.pprof -memprofile mem.pprof
@@ -34,7 +35,13 @@
 // fault class (transient glitch/burst, permanent stop/drift/drop,
 // value corruption) under the binary, per-app (m,k) weakly-hard, and
 // (m,k)+value-check policies, and compares measured latency against
-// the analytic detection bound.
+// the analytic detection bound. The topobench experiment generates -n
+// seeded random topologies from the internal/topo DSL and
+// property-checks each one — analytic sizing admits zero false
+// convictions, Lemma 1 isolation and masking under a scripted fault,
+// (m,k) detection bounds, and sequential-vs-sharded trace identity —
+// then round-trips the paper apps through the DSL against their golden
+// streams; it exits non-zero on any violation.
 //
 // -cpuprofile/-memprofile write pprof profiles covering the selected
 // experiment (the memory profile is written at exit, after a final GC).
@@ -125,7 +132,7 @@ func parsePolicy(policy, mk string) (ft.PolicySpec, error) {
 
 func main() {
 	var cfg cliConfig
-	flag.StringVar(&cfg.expName, "exp", "table2", "experiment: table1, table2, table3, report, fills, bench, campaign, obsbench, corebench, shardbench or detectbench")
+	flag.StringVar(&cfg.expName, "exp", "table2", "experiment: table1, table2, table3, report, fills, bench, campaign, obsbench, corebench, shardbench, detectbench or topobench")
 	flag.StringVar(&cfg.appName, "app", "all", "application: mjpeg, adpcm, h264 or all")
 	flag.IntVar(&cfg.runs, "runs", 20, "fault-injection runs per configuration")
 	flag.Int64Var(&cfg.pollUs, "poll", 1000, "distance-function poll period in µs (table3)")
@@ -422,6 +429,36 @@ func runExperiment(cfg cliConfig) error {
 			return err
 		}
 		return nil
+	case "topobench":
+		rep, err := exp.TopoBench(cfg.n, cfg.seed, opts...)
+		if err != nil {
+			return err
+		}
+		fmt.Print(rep.String())
+		out := cfg.out
+		if out == "" {
+			out = "BENCH_PR8.json"
+		}
+		if out != "-" {
+			f, err := os.Create(out)
+			if err != nil {
+				return err
+			}
+			if err := rep.WriteJSON(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "topology bench report written to %s\n", out)
+		} else if err := rep.WriteJSON(os.Stdout); err != nil {
+			return err
+		}
+		if rep.Violations > 0 {
+			return fmt.Errorf("topobench: %d property violations across %d generated networks", rep.Violations, rep.Networks)
+		}
+		return nil
 	case "campaign":
 		pol, err := parsePolicy(cfg.policy, cfg.mk)
 		if err != nil {
@@ -457,6 +494,6 @@ func runExperiment(cfg cliConfig) error {
 		}
 		return nil
 	default:
-		return fmt.Errorf("unknown experiment %q (want table1, table2, table3, report, fills, bench, campaign, obsbench, corebench, shardbench or detectbench)", cfg.expName)
+		return fmt.Errorf("unknown experiment %q (want table1, table2, table3, report, fills, bench, campaign, obsbench, corebench, shardbench, detectbench or topobench)", cfg.expName)
 	}
 }

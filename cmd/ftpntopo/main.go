@@ -1,9 +1,13 @@
-// Command ftpntopo dumps the process-network topologies of the paper's
-// figures as Graphviz DOT or plain summaries:
+// Command ftpntopo dumps process-network topologies as Graphviz DOT or
+// plain summaries — the paper's figures, any built-in app, and
+// declarative internal/topo specs (hand-written or generated):
 //
 //	ftpntopo -fig 1            # Figure 1: reference + duplicated network
 //	ftpntopo -fig 2            # Figure 2: MJPEG decoder and ADPCM app
 //	ftpntopo -app h264 -dup    # any app, duplicated topology
+//	ftpntopo -load net.yaml    # a JSON/YAML topology spec
+//	ftpntopo -load net.yaml -emit   # ... re-emitted as canonical JSON
+//	ftpntopo -gen 42 -dup      # a generated topology, duplicated
 package main
 
 import (
@@ -15,23 +19,30 @@ import (
 	"ftpn/internal/exp"
 	"ftpn/internal/ft"
 	"ftpn/internal/kpn"
+	"ftpn/internal/topo"
 )
 
 func main() {
 	var (
 		fig     = flag.Int("fig", 0, "paper figure to dump (1 or 2); 0 selects -app")
 		appName = flag.String("app", "mjpeg", "application topology: mjpeg, adpcm or h264")
+		load    = flag.String("load", "", "load a topology spec (JSON or YAML) instead of a built-in app")
+		gen     = flag.Int64("gen", -1, "generate the seeded random topology instead of a built-in app (-1 = off)")
 		dup     = flag.Bool("dup", false, "dump the duplicated (fault-tolerant) topology")
 		summary = flag.Bool("summary", false, "plain summary instead of DOT")
+		emitJS  = flag.Bool("emit", false, "with -load/-gen: dump the canonical JSON spec instead of DOT")
 	)
 	flag.Parse()
-	if err := run(*fig, *appName, *dup, *summary); err != nil {
+	if err := run(*fig, *appName, *load, *gen, *dup, *summary, *emitJS); err != nil {
 		fmt.Fprintf(os.Stderr, "ftpntopo: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(fig int, appName string, dup, summary bool) error {
+func run(fig int, appName, load string, gen int64, dup, summary, emitJS bool) error {
+	if load != "" || gen >= 0 {
+		return runSpec(load, gen, dup, summary, emitJS)
+	}
 	switch fig {
 	case 1:
 		// Figure 1 shows a generic producer -> critical -> consumer
@@ -80,6 +91,56 @@ func run(fig int, appName string, dup, summary bool) error {
 	default:
 		return fmt.Errorf("unknown figure %d", fig)
 	}
+}
+
+// runSpec dumps a declarative topo.Spec, loaded from a file or freshly
+// generated from a seed.
+func runSpec(load string, gen int64, dup, summary, emitJS bool) error {
+	if load != "" && gen >= 0 {
+		return fmt.Errorf("-load and -gen are mutually exclusive")
+	}
+	var spec *topo.Spec
+	if load != "" {
+		data, err := os.ReadFile(load)
+		if err != nil {
+			return err
+		}
+		spec, err = topo.Parse(data)
+		if err != nil {
+			return err
+		}
+		if err := spec.Validate(); err != nil {
+			return err
+		}
+	} else {
+		spec = topo.Generate(gen)
+	}
+	if emitJS {
+		out, err := topo.Emit(spec)
+		if err != nil {
+			return err
+		}
+		_, err = os.Stdout.Write(out)
+		return err
+	}
+	if dup {
+		// The duplicated dump needs real behaviors (the ft transform
+		// wraps the factories), so compile the spec into a model first.
+		model, err := topo.Compile(spec)
+		if err != nil {
+			return err
+		}
+		net, err := model.Build(nil)
+		if err != nil {
+			return err
+		}
+		return emitDup(net, summary)
+	}
+	// The reference dump is purely structural: the behavior-less
+	// skeleton carries the full graph, so it also covers extern specs
+	// that cannot compile without bindings.
+	emit(spec.Skeleton(), summary)
+	return nil
 }
 
 func emit(net *kpn.Network, summary bool) {

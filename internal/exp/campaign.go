@@ -71,11 +71,14 @@ type Scenario struct {
 	SecondOther bool     `json:"second_other"` // second fault hits the other replica
 }
 
-var modeByName = map[string]fault.Mode{
-	"stop-all":       fault.StopAll,
-	"stop-consuming": fault.StopConsuming,
-	"stop-producing": fault.StopProducing,
-	"degrade":        fault.Degrade,
+// modeByName resolves a scenario mode string via the canonical registry
+// in internal/fault; campaign scenarios only ever draw valid names.
+func modeByName(name string) fault.Mode {
+	m, ok := fault.ModeByName(name)
+	if !ok {
+		panic("exp: unknown fault mode " + name)
+	}
+	return m
 }
 
 // ScenarioFor draws scenario idx of a campaign deterministically.
@@ -291,10 +294,10 @@ func campaignOne(sc Scenario, g *golden, pol ft.PolicySpec) (CampaignRun, error)
 			return
 		}
 		inject2At = at
-		sys.InjectFault(target2, at, modeByName[sc.SecondMode], 0)
+		sys.InjectFault(target2, at, modeByName(sc.SecondMode), 0)
 	}
 
-	sys.InjectFault(sc.Replica, sc.InjectUs, modeByName[sc.Mode], sc.ExtraUs)
+	sys.InjectFault(sc.Replica, sc.InjectUs, modeByName(sc.Mode), sc.ExtraUs)
 	k.Run(0)
 	k.Shutdown()
 

@@ -118,6 +118,14 @@ func (sp PolicySpec) String() string {
 	return base
 }
 
+// Validate reports whether the spec names an instantiable policy, so
+// declarative layers (the topology DSL, CLI flags) can reject a bad
+// spec before any channel is built.
+func (sp PolicySpec) Validate() error {
+	_, err := NewPolicy(sp)
+	return err
+}
+
 // NewPolicy instantiates the spec. The zero-value spec returns (nil,
 // nil): callers leave the channel on its inline path. Policies are
 // stateful — build one instance per channel.

@@ -94,6 +94,58 @@ func (m *PayloadMemo) Gen(stage string, gen func(i int64) []byte) func(i int64) 
 	}
 }
 
+// MemoStage generalizes MemoTransform to arbitrary port arity: each
+// firing reads one token from every input (in the channel declaration
+// order the network binds ports in), delays for the work model applied
+// to the total input size, and writes one token carrying f's payload to
+// every output. The emitted Seq is the first input's Seq, so the stream
+// index assigned at the producer survives forks, joins and feedback
+// stages — declare forward channels before feedback channels so the
+// first input is the forward one. Like MemoTransform the payload must
+// be a pure function of (stream index, input payloads) for the memo to
+// be sound; a nil f forwards the first input's payload, a nil memo
+// disables caching. Package topo builds every synthetic DSL stage on
+// this behavior.
+func MemoStage(work WorkModel, seed int64, memo *PayloadMemo, stage string, f func(i int64, ins [][]byte) []byte) Behavior {
+	return func(p *des.Proc, in []ReadPort, out []WritePort) {
+		if len(in) == 0 || len(out) == 0 {
+			panic(fmt.Sprintf("kpn: MemoStage %q needs at least 1 input and 1 output, got %d/%d", stage, len(in), len(out)))
+		}
+		rng := rand.New(rand.NewSource(seed))
+		toks := make([]Token, len(in))
+		for {
+			total := 0
+			for i := range in {
+				toks[i] = in[i].Read(p)
+				total += toks[i].Size()
+			}
+			p.Delay(work.Duration(rng, total))
+			seq := toks[0].Seq
+			var payload []byte
+			if f == nil {
+				payload = toks[0].Payload
+			} else {
+				compute := func() []byte {
+					ins := make([][]byte, len(toks))
+					for i := range toks {
+						ins[i] = toks[i].Payload
+					}
+					return f(seq, ins)
+				}
+				if memo != nil {
+					payload = memo.do(stage, seq, compute)
+				} else {
+					payload = compute()
+				}
+			}
+			tok := Token{Seq: seq, Stamp: p.Now(), Payload: payload}
+			for _, o := range out {
+				o.Write(p, tok)
+			}
+		}
+	}
+}
+
 // MemoTransform is Transform with the payload function memoized by the
 // token's stream index. Unlike Transform, f receives tok.Seq (not the
 // local read counter) as its index argument: the stream index is what

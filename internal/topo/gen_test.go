@@ -1,0 +1,107 @@
+package topo
+
+import (
+	"reflect"
+	"testing"
+)
+
+// genShapes are the shape labels Generate can emit.
+var genShapes = []string{"chain", "tree", "diamond", "fanin-select", "feedback"}
+
+// TestGenerateStructure sweeps 250 seeds and checks every generated
+// spec structurally: Validate passes, every cycle the skeleton's cycle
+// enumeration finds carries initial tokens, DeadlockRisks stays empty,
+// and the spec compiles. Feedback shapes must actually contain a cycle
+// — otherwise the cycle checks would pass vacuously.
+func TestGenerateStructure(t *testing.T) {
+	shapes := map[string]int{}
+	cyclesSeen := 0
+	for seed := int64(0); seed < 250; seed++ {
+		spec := Generate(seed)
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("seed %d (%s): %v", seed, spec.Shape, err)
+		}
+		skel := spec.Skeleton()
+		cycles := skel.Cycles()
+		if spec.Shape == "feedback" && len(cycles) == 0 {
+			t.Errorf("seed %d: feedback shape generated no cycle", seed)
+		}
+		if spec.Shape != "feedback" && len(cycles) != 0 {
+			t.Errorf("seed %d: %s shape generated unexpected cycle %v", seed, spec.Shape, cycles[0].Channels)
+		}
+		for _, cy := range cycles {
+			cyclesSeen++
+			if cy.InitialTokens == 0 {
+				t.Errorf("seed %d: cycle %v has no initial tokens", seed, cy.Channels)
+			}
+		}
+		if risks := skel.DeadlockRisks(); len(risks) > 0 {
+			t.Errorf("seed %d: deadlock risk %v", seed, risks[0].Channels)
+		}
+		if _, err := Compile(spec); err != nil {
+			t.Fatalf("seed %d (%s): compile: %v", seed, spec.Shape, err)
+		}
+		shapes[spec.Shape]++
+	}
+	for _, s := range genShapes {
+		if shapes[s] == 0 {
+			t.Errorf("shape %q never generated in 250 seeds", s)
+		}
+	}
+	if cyclesSeen == 0 {
+		t.Error("no cycles generated in 250 seeds — feedback coverage is vacuous")
+	}
+}
+
+// TestGenerateDeterministic: the generator is a pure function of the
+// seed, and distinct seeds actually vary the topology.
+func TestGenerateDeterministic(t *testing.T) {
+	a, b := Generate(42), Generate(42)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("Generate(42) differs between calls:\n%+v\n%+v", a, b)
+	}
+	ea, _ := Emit(a)
+	eb, _ := Emit(b)
+	if string(ea) != string(eb) {
+		t.Fatal("Generate(42) emits differently between calls")
+	}
+	distinct := false
+	for seed := int64(0); seed < 10 && !distinct; seed++ {
+		distinct = !reflect.DeepEqual(Generate(seed).Procs, a.Procs)
+	}
+	if !distinct {
+		t.Fatal("10 different seeds all produced Generate(42)'s processes")
+	}
+}
+
+// TestGenerateScenarios: the fault scripts the generator emits stay
+// consistent with their scenario labels.
+func TestGenerateScenarios(t *testing.T) {
+	labels := map[string]int{}
+	for seed := int64(0); seed < 250; seed++ {
+		spec := Generate(seed)
+		labels[spec.Scenario]++
+		switch spec.Scenario {
+		case ScenarioFaultFree:
+			if len(spec.Faults) != 0 {
+				t.Errorf("seed %d: fault-free scenario carries faults %+v", seed, spec.Faults)
+			}
+		case ScenarioCorrupt:
+			if spec.Detection == nil || !spec.Detection.Value {
+				t.Errorf("seed %d: corrupt scenario without a value-check policy", seed)
+			}
+		case ScenarioBurst:
+			if len(spec.Faults) != 1 || spec.Faults[0].RepairAtUs == 0 {
+				t.Errorf("seed %d: burst scenario must be a repaired transient, got %+v", seed, spec.Faults)
+			}
+		}
+		if spec.Scenario != ScenarioFaultFree && len(spec.Faults) == 0 {
+			t.Errorf("seed %d: scenario %q carries no fault script", seed, spec.Scenario)
+		}
+	}
+	for _, s := range []string{ScenarioFaultFree, ScenarioStop, ScenarioCorrupt, ScenarioBurst} {
+		if labels[s] == 0 {
+			t.Errorf("scenario %q never generated in 250 seeds", s)
+		}
+	}
+}

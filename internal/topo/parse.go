@@ -1,0 +1,56 @@
+package topo
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// Parse decodes a Spec from JSON or a YAML subset (yaml.go), sniffing
+// the format: a document whose first non-space byte is '{' is JSON.
+// Decoding is strict — unknown fields are errors in both formats, so a
+// typo'd key never silently vanishes. Parse performs syntax and schema
+// decoding only; call Spec.Validate for semantic checks.
+func Parse(data []byte) (*Spec, error) {
+	trimmed := bytes.TrimLeft(data, " \t\r\n")
+	if len(trimmed) == 0 {
+		return nil, fmt.Errorf("topo: empty spec document")
+	}
+	var jsonDoc []byte
+	if trimmed[0] == '{' {
+		jsonDoc = trimmed
+	} else {
+		tree, err := parseYAML(data)
+		if err != nil {
+			return nil, err
+		}
+		// The YAML tree re-encodes as JSON and flows through the same
+		// strict decoder, so both formats share one schema definition.
+		jsonDoc, err = json.Marshal(tree)
+		if err != nil {
+			return nil, fmt.Errorf("topo: yaml document does not map onto the schema: %w", err)
+		}
+	}
+	dec := json.NewDecoder(bytes.NewReader(jsonDoc))
+	dec.DisallowUnknownFields()
+	var spec Spec
+	if err := dec.Decode(&spec); err != nil {
+		return nil, fmt.Errorf("topo: parse spec: %w", err)
+	}
+	// Trailing garbage after the document is an error.
+	if dec.More() {
+		return nil, fmt.Errorf("topo: trailing data after spec document")
+	}
+	return &spec, nil
+}
+
+// Emit renders the spec canonically: indented JSON with a trailing
+// newline. Parse(Emit(s)) reproduces s exactly (the round-trip property
+// test and fuzz target pin this).
+func Emit(spec *Spec) ([]byte, error) {
+	out, err := json.MarshalIndent(spec, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("topo: emit spec: %w", err)
+	}
+	return append(out, '\n'), nil
+}

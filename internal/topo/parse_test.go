@@ -1,0 +1,150 @@
+package topo
+
+import (
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// load reads and parses a testdata spec.
+func load(t testing.TB, name string) *Spec {
+	t.Helper()
+	data, err := os.ReadFile("testdata/" + name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := Parse(data)
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	return spec
+}
+
+// TestParseJSONYAMLAgree pins the two formats to one schema: the JSON
+// and YAML renditions of the demo chain decode to identical specs.
+func TestParseJSONYAMLAgree(t *testing.T) {
+	js := load(t, "chain.json")
+	ym := load(t, "chain.yaml")
+	if !reflect.DeepEqual(js, ym) {
+		t.Fatalf("chain.json and chain.yaml decode differently:\njson: %+v\nyaml: %+v", js, ym)
+	}
+	if err := js.Validate(); err != nil {
+		t.Fatalf("chain spec invalid: %v", err)
+	}
+}
+
+func TestParseFeedbackSpec(t *testing.T) {
+	spec := load(t, "feedback.yaml")
+	if err := spec.Validate(); err != nil {
+		t.Fatalf("feedback spec invalid: %v", err)
+	}
+	if len(spec.Faults) != 1 || spec.Faults[0].Mode != "stop-all" {
+		t.Fatalf("fault script lost in parsing: %+v", spec.Faults)
+	}
+	cycles := spec.Skeleton().Cycles()
+	if len(cycles) == 0 {
+		t.Fatal("feedback spec has no cycle")
+	}
+	for _, cy := range cycles {
+		if cy.InitialTokens == 0 {
+			t.Fatalf("cycle %v carries no initial tokens", cy.Channels)
+		}
+	}
+}
+
+// TestParseErrors: malformed input must produce an error, with enough
+// context to locate the problem, and never a panic.
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, in, want string
+	}{
+		{"empty", "", "empty spec"},
+		{"blank", "  \n\t\n", "empty spec"},
+		{"json truncated", `{"name": "x"`, "parse spec"},
+		{"json unknown field", `{"name": "x", "tokns": 3}`, "unknown field"},
+		{"json trailing garbage", `{"name": "x"} {"name": "y"}`, "trailing data"},
+		{"json wrong type", `{"name": 3}`, "parse spec"},
+		{"yaml unknown field", "name: x\ntokns: 3\n", "unknown field"},
+		{"yaml tab indent", "name: x\nprocs:\n\t- name: p\n", "tab"},
+		{"yaml duplicate key", "name: x\nname: y\n", "duplicate key"},
+		{"yaml bad nesting", "name: x\n  stray: 1\n", ""},
+		{"yaml unclosed flow", "procs: [1, 2\n", ""},
+		{"yaml unclosed quote", "name: \"x\n", ""},
+		{"yaml scalar doc", "just a scalar\n", ""},
+		{"yaml deep flow", strings.Repeat("[", 500) + strings.Repeat("]", 500), "nesting"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			spec, err := Parse([]byte(tc.in))
+			if err == nil {
+				t.Fatalf("Parse(%q) = %+v, want error", tc.in, spec)
+			}
+			if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Parse(%q) error %q does not mention %q", tc.in, err, tc.want)
+			}
+		})
+	}
+}
+
+// TestEmitParseRoundTrip is the round-trip property: for hand-written
+// and generated specs alike, Parse(Emit(s)) reproduces s exactly.
+func TestEmitParseRoundTrip(t *testing.T) {
+	specs := []*Spec{load(t, "chain.json"), load(t, "feedback.yaml")}
+	for seed := int64(0); seed < 50; seed++ {
+		specs = append(specs, Generate(seed))
+	}
+	for _, spec := range specs {
+		data, err := Emit(spec)
+		if err != nil {
+			t.Fatalf("%s: emit: %v", spec.Name, err)
+		}
+		back, err := Parse(data)
+		if err != nil {
+			t.Fatalf("%s: re-parse: %v\n%s", spec.Name, err, data)
+		}
+		if !reflect.DeepEqual(spec, back) {
+			t.Fatalf("%s: round-trip drift:\nbefore: %+v\nafter:  %+v", spec.Name, spec, back)
+		}
+	}
+}
+
+// FuzzTopoParse: arbitrary input must either parse or error — never
+// panic — and anything that parses must survive the Emit/Parse
+// round-trip bit-exactly.
+func FuzzTopoParse(f *testing.F) {
+	for _, name := range []string{"chain.json", "chain.yaml", "feedback.yaml"} {
+		data, err := os.ReadFile("testdata/" + name)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	for _, s := range []string{
+		"", "{", "}", "null", "[]", `{"name":"x","tokens":1}`,
+		"name: x\ntokens: 1\n", "a:\n  - 1\n  - b: {c: [1, 'two']}\n",
+		"name: \"\\u0041\"\n", "tokens: 1e3\n", "tokens: -1\n",
+		"procs:\n- name: p\n  role: producer\n",
+		"# comment only\n", "---\nname: x\n", "faults: [{replica: 1}]\n",
+		strings.Repeat("[", 300), "\xff\xfe", "name: 'it''s'\n",
+	} {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := Parse(data)
+		if err != nil {
+			return // rejecting is fine; panicking is the bug
+		}
+		out, err := Emit(spec)
+		if err != nil {
+			t.Fatalf("emit after successful parse: %v", err)
+		}
+		back, err := Parse(out)
+		if err != nil {
+			t.Fatalf("re-parse of emitted spec: %v\n%s", err, out)
+		}
+		if !reflect.DeepEqual(spec, back) {
+			t.Fatalf("round-trip drift:\nin:     %q\nbefore: %+v\nafter:  %+v", data, spec, back)
+		}
+	})
+}

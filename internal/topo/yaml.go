@@ -1,0 +1,452 @@
+package topo
+
+// A hand-written YAML-subset parser. The repo is dependency-free by
+// policy, so instead of a full YAML implementation the DSL accepts the
+// subset a topology file actually needs — block mappings and sequences
+// nested by indentation, single-line flow sequences/mappings, quoted
+// and plain scalars (null/bool/int/float/string), and '#' comments —
+// and rejects everything else with an error (never a panic; the
+// FuzzTopoParse target pins that). The parse result is a generic
+// JSON-shaped tree (map[string]any / []any / scalars) that re-encodes
+// as JSON and flows through the same strict schema decoder as a JSON
+// document, so both formats have identical field handling.
+//
+// Out of scope (parse errors, not silent misreads): anchors/aliases,
+// tags, multi-document streams, block scalars (| and >), multi-line
+// flow collections, and tab indentation.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// maxYAMLDepth bounds both block and flow nesting so adversarial
+// (fuzzed) documents cannot exhaust the stack.
+const maxYAMLDepth = 200
+
+// yamlLine is one significant source line: indentation, content with
+// comments stripped, and the 1-based source line number for errors.
+type yamlLine struct {
+	indent int
+	text   string
+	num    int
+}
+
+type yamlParser struct {
+	lines []yamlLine
+	pos   int
+}
+
+// parseYAML parses a document into a generic tree.
+func parseYAML(data []byte) (any, error) {
+	lines, err := splitYAMLLines(string(data))
+	if err != nil {
+		return nil, err
+	}
+	if len(lines) == 0 {
+		return nil, fmt.Errorf("topo: empty yaml document")
+	}
+	p := &yamlParser{lines: lines}
+	root, err := p.parseNode(lines[0].indent, 0)
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.lines) {
+		l := p.lines[p.pos]
+		return nil, fmt.Errorf("topo: yaml line %d: unexpected content %q after document (bad indentation?)", l.num, l.text)
+	}
+	return root, nil
+}
+
+// splitYAMLLines normalizes the source: strips comments and blank
+// lines, measures indentation, rejects tabs in indentation, and skips a
+// single leading document marker.
+func splitYAMLLines(src string) ([]yamlLine, error) {
+	var out []yamlLine
+	for num, raw := range strings.Split(src, "\n") {
+		line := strings.TrimSuffix(raw, "\r")
+		indent := 0
+		for indent < len(line) && line[indent] == ' ' {
+			indent++
+		}
+		if indent < len(line) && line[indent] == '\t' {
+			return nil, fmt.Errorf("topo: yaml line %d: tab in indentation", num+1)
+		}
+		text := strings.TrimRight(stripComment(line[indent:]), " \t")
+		if text == "" {
+			continue
+		}
+		if text == "---" && len(out) == 0 {
+			continue
+		}
+		out = append(out, yamlLine{indent: indent, text: text, num: num + 1})
+	}
+	return out, nil
+}
+
+// stripComment removes a trailing '#' comment that is outside quotes
+// and either starts the content or follows whitespace.
+func stripComment(s string) string {
+	var inSingle, inDouble bool
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; {
+		case c == '\'' && !inDouble:
+			inSingle = !inSingle
+		case c == '"' && !inSingle:
+			// Honor backslash escapes inside double quotes.
+			if inDouble && i > 0 && s[i-1] == '\\' {
+				continue
+			}
+			inDouble = !inDouble
+		case c == '#' && !inSingle && !inDouble:
+			if i == 0 || s[i-1] == ' ' || s[i-1] == '\t' {
+				return s[:i]
+			}
+		}
+	}
+	return s
+}
+
+// parseNode parses the node starting at the current line, which must
+// sit at the given indent: a block sequence, a block mapping, or a
+// single flow scalar.
+func (p *yamlParser) parseNode(indent, depth int) (any, error) {
+	if depth > maxYAMLDepth {
+		return nil, fmt.Errorf("topo: yaml nesting deeper than %d levels", maxYAMLDepth)
+	}
+	l := p.lines[p.pos]
+	if l.text == "-" || strings.HasPrefix(l.text, "- ") {
+		return p.parseSequence(indent, depth)
+	}
+	if hasTopLevelColon(l.text) {
+		return p.parseMapping(indent, depth)
+	}
+	p.pos++
+	return parseFlow(l.text, l.num, depth)
+}
+
+// parseSequence parses consecutive "- item" lines at the given indent.
+func (p *yamlParser) parseSequence(indent, depth int) (any, error) {
+	items := []any{}
+	for p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		if l.indent != indent || (l.text != "-" && !strings.HasPrefix(l.text, "- ")) {
+			break
+		}
+		rest := strings.TrimPrefix(l.text, "-")
+		trimmed := strings.TrimLeft(rest, " ")
+		if trimmed == "" {
+			// "-" alone: the item is the nested node on deeper lines.
+			p.pos++
+			item, err := p.parseChild(indent, depth)
+			if err != nil {
+				return nil, err
+			}
+			items = append(items, item)
+			continue
+		}
+		// Inline item content ("- name: x", "- 3", "- [1, 2]"): rewrite
+		// the line as the item's own first line at its effective indent
+		// and recurse — following deeper keys of an inline mapping then
+		// parse as its siblings.
+		eff := indent + (len(l.text) - len(trimmed))
+		p.lines[p.pos] = yamlLine{indent: eff, text: trimmed, num: l.num}
+		item, err := p.parseNode(eff, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, item)
+	}
+	return items, nil
+}
+
+// parseMapping parses consecutive "key: value" lines at the given
+// indent.
+func (p *yamlParser) parseMapping(indent, depth int) (any, error) {
+	out := map[string]any{}
+	for p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		if l.indent != indent || l.text == "-" || strings.HasPrefix(l.text, "- ") {
+			break
+		}
+		ci := topLevelColon(l.text)
+		if ci < 0 {
+			return nil, fmt.Errorf("topo: yaml line %d: expected \"key: value\", got %q", l.num, l.text)
+		}
+		keyVal, err := parseFlow(strings.TrimSpace(l.text[:ci]), l.num, depth)
+		if err != nil {
+			return nil, err
+		}
+		key, ok := keyVal.(string)
+		if !ok {
+			key = fmt.Sprint(keyVal)
+		}
+		if _, dup := out[key]; dup {
+			return nil, fmt.Errorf("topo: yaml line %d: duplicate key %q", l.num, key)
+		}
+		rest := strings.TrimSpace(l.text[ci+1:])
+		if rest == "" {
+			p.pos++
+			val, err := p.parseChild(indent, depth)
+			if err != nil {
+				return nil, err
+			}
+			out[key] = val
+			continue
+		}
+		p.pos++
+		val, err := parseFlow(rest, l.num, depth)
+		if err != nil {
+			return nil, err
+		}
+		out[key] = val
+	}
+	return out, nil
+}
+
+// parseChild parses a nested node (strictly deeper than parentIndent)
+// or yields null when the next line does not nest.
+func (p *yamlParser) parseChild(parentIndent, depth int) (any, error) {
+	if p.pos >= len(p.lines) || p.lines[p.pos].indent <= parentIndent {
+		return nil, nil
+	}
+	return p.parseNode(p.lines[p.pos].indent, depth+1)
+}
+
+// hasTopLevelColon reports whether the line is a mapping entry.
+func hasTopLevelColon(s string) bool { return topLevelColon(s) >= 0 }
+
+// topLevelColon finds the index of the key-separating ": " (or a
+// trailing ':') outside quotes and flow brackets; -1 if none.
+func topLevelColon(s string) int {
+	var inSingle, inDouble bool
+	bracket := 0
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; {
+		case c == '\'' && !inDouble:
+			inSingle = !inSingle
+		case c == '"' && !inSingle:
+			if i > 0 && s[i-1] == '\\' && inDouble {
+				continue
+			}
+			inDouble = !inDouble
+		case inSingle || inDouble:
+		case c == '[' || c == '{':
+			bracket++
+		case c == ']' || c == '}':
+			bracket--
+		case c == ':' && bracket == 0:
+			if i == len(s)-1 || s[i+1] == ' ' {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+// parseFlow parses a single-line value: flow sequence, flow mapping,
+// quoted string, or plain scalar.
+func parseFlow(s string, num, depth int) (any, error) {
+	if depth > maxYAMLDepth {
+		return nil, fmt.Errorf("topo: yaml line %d: flow nesting deeper than %d levels", num, maxYAMLDepth)
+	}
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	switch s[0] {
+	case '[':
+		items, rest, err := parseFlowSeq(s, num, depth)
+		if err != nil {
+			return nil, err
+		}
+		if strings.TrimSpace(rest) != "" {
+			return nil, fmt.Errorf("topo: yaml line %d: trailing content %q after flow sequence", num, rest)
+		}
+		return items, nil
+	case '{':
+		m, rest, err := parseFlowMap(s, num, depth)
+		if err != nil {
+			return nil, err
+		}
+		if strings.TrimSpace(rest) != "" {
+			return nil, fmt.Errorf("topo: yaml line %d: trailing content %q after flow mapping", num, rest)
+		}
+		return m, nil
+	case '"', '\'':
+		str, rest, err := parseQuoted(s, num)
+		if err != nil {
+			return nil, err
+		}
+		if strings.TrimSpace(rest) != "" {
+			return nil, fmt.Errorf("topo: yaml line %d: trailing content %q after string", num, rest)
+		}
+		return str, nil
+	}
+	return plainScalar(s), nil
+}
+
+// parseFlowSeq parses "[a, b, ...]" returning the remainder of s.
+func parseFlowSeq(s string, num, depth int) ([]any, string, error) {
+	body := s[1:] // past '['
+	items := []any{}
+	for {
+		body = strings.TrimLeft(body, " ")
+		if body == "" {
+			return nil, "", fmt.Errorf("topo: yaml line %d: unterminated flow sequence", num)
+		}
+		if body[0] == ']' {
+			return items, body[1:], nil
+		}
+		item, rest, err := parseFlowItem(body, num, depth+1)
+		if err != nil {
+			return nil, "", err
+		}
+		items = append(items, item)
+		body = strings.TrimLeft(rest, " ")
+		switch {
+		case strings.HasPrefix(body, ","):
+			body = body[1:]
+		case strings.HasPrefix(body, "]"):
+			return items, body[1:], nil
+		default:
+			return nil, "", fmt.Errorf("topo: yaml line %d: expected ',' or ']' in flow sequence, got %q", num, body)
+		}
+	}
+}
+
+// parseFlowMap parses "{k: v, ...}" returning the remainder of s.
+func parseFlowMap(s string, num, depth int) (map[string]any, string, error) {
+	body := s[1:] // past '{'
+	out := map[string]any{}
+	for {
+		body = strings.TrimLeft(body, " ")
+		if body == "" {
+			return nil, "", fmt.Errorf("topo: yaml line %d: unterminated flow mapping", num)
+		}
+		if body[0] == '}' {
+			return out, body[1:], nil
+		}
+		ci := strings.IndexByte(body, ':')
+		bi := strings.IndexAny(body, ",}")
+		if ci < 0 || (bi >= 0 && bi < ci) {
+			return nil, "", fmt.Errorf("topo: yaml line %d: expected \"key: value\" in flow mapping, got %q", num, body)
+		}
+		key := strings.TrimSpace(body[:ci])
+		if key == "" {
+			return nil, "", fmt.Errorf("topo: yaml line %d: empty key in flow mapping", num)
+		}
+		if _, dup := out[key]; dup {
+			return nil, "", fmt.Errorf("topo: yaml line %d: duplicate key %q", num, key)
+		}
+		val, rest, err := parseFlowItem(strings.TrimLeft(body[ci+1:], " "), num, depth+1)
+		if err != nil {
+			return nil, "", err
+		}
+		out[key] = val
+		body = strings.TrimLeft(rest, " ")
+		switch {
+		case strings.HasPrefix(body, ","):
+			body = body[1:]
+		case strings.HasPrefix(body, "}"):
+			return out, body[1:], nil
+		default:
+			return nil, "", fmt.Errorf("topo: yaml line %d: expected ',' or '}' in flow mapping, got %q", num, body)
+		}
+	}
+}
+
+// parseFlowItem parses one value inside a flow collection and returns
+// the unconsumed remainder.
+func parseFlowItem(s string, num, depth int) (any, string, error) {
+	if depth > maxYAMLDepth {
+		return nil, "", fmt.Errorf("topo: yaml line %d: flow nesting deeper than %d levels", num, maxYAMLDepth)
+	}
+	if s == "" {
+		return nil, "", fmt.Errorf("topo: yaml line %d: missing value in flow collection", num)
+	}
+	switch s[0] {
+	case '[':
+		return wrapFlow(parseFlowSeq(s, num, depth))
+	case '{':
+		return wrapFlow(parseFlowMap(s, num, depth))
+	case '"', '\'':
+		return parseQuoted(s, num)
+	}
+	end := strings.IndexAny(s, ",]}")
+	if end < 0 {
+		end = len(s)
+	}
+	return plainScalar(strings.TrimSpace(s[:end])), s[end:], nil
+}
+
+// wrapFlow adapts the typed flow-collection results to (any, string,
+// error).
+func wrapFlow[T any](v T, rest string, err error) (any, string, error) {
+	if err != nil {
+		return nil, "", err
+	}
+	return v, rest, nil
+}
+
+// parseQuoted parses a leading quoted string and returns the remainder.
+// Double quotes honor JSON-style backslash escapes; single quotes use
+// YAML's doubled-quote escape.
+func parseQuoted(s string, num int) (string, string, error) {
+	quote := s[0]
+	var b strings.Builder
+	for i := 1; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case quote == '"' && c == '\\':
+			if i+1 >= len(s) {
+				return "", "", fmt.Errorf("topo: yaml line %d: dangling escape in string", num)
+			}
+			i++
+			switch s[i] {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case '"', '\\', '/':
+				b.WriteByte(s[i])
+			default:
+				return "", "", fmt.Errorf("topo: yaml line %d: unsupported escape \\%c", num, s[i])
+			}
+		case c == quote:
+			if quote == '\'' && i+1 < len(s) && s[i+1] == '\'' {
+				b.WriteByte('\'')
+				i++
+				continue
+			}
+			return b.String(), s[i+1:], nil
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return "", "", fmt.Errorf("topo: yaml line %d: unterminated string", num)
+}
+
+// plainScalar converts an unquoted scalar: null, booleans, integers,
+// floats, else a string.
+func plainScalar(s string) any {
+	switch s {
+	case "null", "~", "":
+		return nil
+	case "true":
+		return true
+	case "false":
+		return false
+	}
+	if i, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return i
+	}
+	if u, err := strconv.ParseUint(s, 10, 64); err == nil {
+		return u
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return f
+	}
+	return s
+}
