@@ -132,7 +132,7 @@ func parsePolicy(policy, mk string) (ft.PolicySpec, error) {
 
 func main() {
 	var cfg cliConfig
-	flag.StringVar(&cfg.expName, "exp", "table2", "experiment: table1, table2, table3, report, fills, bench, campaign, obsbench, corebench, shardbench, detectbench or topobench")
+	flag.StringVar(&cfg.expName, "exp", "table2", "experiment: table1, table2, table3, report, fills, bench, campaign, obsbench, corebench, shardbench, detectbench, topobench or latbench")
 	flag.StringVar(&cfg.appName, "app", "all", "application: mjpeg, adpcm, h264 or all")
 	flag.IntVar(&cfg.runs, "runs", 20, "fault-injection runs per configuration")
 	flag.Int64Var(&cfg.pollUs, "poll", 1000, "distance-function poll period in µs (table3)")
@@ -459,6 +459,36 @@ func runExperiment(cfg cliConfig) error {
 			return fmt.Errorf("topobench: %d property violations across %d generated networks", rep.Violations, rep.Networks)
 		}
 		return nil
+	case "latbench":
+		rep, err := exp.LatBench(cfg.n, cfg.seed, cfg.seedSelNs, cfg.seedRepNs, opts...)
+		if err != nil {
+			return err
+		}
+		fmt.Print(rep.String())
+		out := cfg.out
+		if out == "" {
+			out = "BENCH_PR9.json"
+		}
+		if out != "-" {
+			f, err := os.Create(out)
+			if err != nil {
+				return err
+			}
+			if err := rep.WriteJSON(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "detection-latency bench report written to %s\n", out)
+		} else if err := rep.WriteJSON(os.Stdout); err != nil {
+			return err
+		}
+		if rep.Violations > 0 {
+			return fmt.Errorf("latbench: %d violations across %d generated networks", rep.Violations, rep.Networks)
+		}
+		return nil
 	case "campaign":
 		pol, err := parsePolicy(cfg.policy, cfg.mk)
 		if err != nil {
@@ -494,6 +524,6 @@ func runExperiment(cfg cliConfig) error {
 		}
 		return nil
 	default:
-		return fmt.Errorf("unknown experiment %q (want table1, table2, table3, report, fills, bench, campaign, obsbench, corebench, shardbench, detectbench or topobench)", cfg.expName)
+		return fmt.Errorf("unknown experiment %q (want table1, table2, table3, report, fills, bench, campaign, obsbench, corebench, shardbench, detectbench, topobench or latbench)", cfg.expName)
 	}
 }

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -17,6 +18,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -123,15 +125,66 @@ func channelProbe(reg *obs.Registry, channel string) crt.Probe {
 	}
 }
 
+// flightProbe mirrors crt channel probe events into a flight-recorder
+// stream and chains to next. crt probes run with the channel lock held,
+// so the mirror is a single ring write.
+func flightProbe(st *obs.FlightStream, next crt.Probe) crt.Probe {
+	return func(e crt.ProbeEvent) {
+		st.Record(obs.FlightEvent{
+			At:      e.At.Microseconds(),
+			Channel: e.Channel,
+			Kind:    e.Kind,
+			Replica: e.Replica,
+			Fill:    e.Fill,
+		})
+		next(e)
+	}
+}
+
 // serveObs starts the observability endpoint: Prometheus text on
-// /metrics, liveness on /healthz (200 healthy, 503 degraded/recovering)
-// and the standard pprof handlers under /debug/pprof/. It returns the
-// server and its bound address.
-func serveObs(addr string, reg *obs.Registry, health func() string) (*http.Server, string, error) {
+// /metrics, liveness on /healthz (200 healthy, 503 degraded/recovering),
+// the flight-recorder tail on /events (?n=128 bounds the tail), the
+// forensic conviction explanations on /convictions and the standard
+// pprof handlers under /debug/pprof/. It returns the server and its
+// bound address.
+func serveObs(addr string, reg *obs.Registry, fr *obs.FlightRecorder, health func() string, onScrape func()) (*http.Server, string, error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		if onScrape != nil {
+			onScrape()
+		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		if err := reg.WritePrometheus(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+		n := 256
+		if q := r.URL.Query().Get("n"); q != "" {
+			if v, err := strconv.Atoi(q); err == nil && v > 0 {
+				n = v
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		evs := fr.Tail(n)
+		if evs == nil {
+			evs = []obs.FlightEvent{}
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(evs); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/convictions", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		exs := obs.ExplainAll(fr.Events())
+		if exs == nil {
+			exs = []obs.Explanation{}
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(exs); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
@@ -173,11 +226,23 @@ func (lw *lockedWriter) Write(p []byte) (int, error) {
 func run(cfg config, sink io.Writer) error {
 	out := &lockedWriter{w: sink}
 	clock := crt.NewWallClock()
+	start := time.Now()
 	done := make(chan struct{})
+
+	// Flight recorder: one stream catches the lifecycle events (inject,
+	// convict, recover) always; the channel probes mirror into it only
+	// when the HTTP endpoint that exposes it is on.
+	fr := obs.NewFlightRecorder(0)
+	flightSt := fr.Stream(0)
+
 	var faultMu sync.Mutex
 	var r1Faulted bool
 	r1Fault := make(chan crt.Fault, 1)
 	onFault := func(f crt.Fault) {
+		flightSt.Record(obs.FlightEvent{
+			At: f.At.Microseconds(), Channel: f.Channel,
+			Kind: obs.FlightConvict, Reason: f.Reason, Replica: f.Replica,
+		})
 		fmt.Fprintf(out, "  [%8v] DETECTED %s\n", f.At.Round(time.Millisecond), f)
 		if f.Replica == 1 {
 			faultMu.Lock()
@@ -197,8 +262,9 @@ func run(cfg config, sink io.Writer) error {
 	// shared, the server stays up for the demo's lifetime.
 	if cfg.httpAddr != "" {
 		reg := obs.NewRegistry()
-		rep.SetProbe(channelProbe(reg, "R"))
-		sel.SetProbe(channelProbe(reg, "S"))
+		uptime := obs.RegisterBuildInfo(reg, "live-demo")
+		rep.SetProbe(flightProbe(flightSt, channelProbe(reg, "R")))
+		sel.SetProbe(flightProbe(flightSt, channelProbe(reg, "S")))
 		health := func() string {
 			for r := 1; r <= 2; r++ {
 				if f, _ := rep.Faulty(r); f {
@@ -213,12 +279,14 @@ func run(cfg config, sink io.Writer) error {
 			}
 			return "healthy"
 		}
-		srv, addr, err := serveObs(cfg.httpAddr, reg, health)
+		srv, addr, err := serveObs(cfg.httpAddr, reg, fr, health, func() {
+			uptime.Set(int64(time.Since(start).Seconds()))
+		})
 		if err != nil {
 			return err
 		}
 		defer srv.Close()
-		fmt.Fprintf(out, "observability on http://%s (/metrics, /healthz, /debug/pprof/)\n", addr)
+		fmt.Fprintf(out, "observability on http://%s (/metrics, /healthz, /events, /convictions, /debug/pprof/)\n", addr)
 		if cfg.onHTTP != nil {
 			cfg.onHTTP(addr)
 		}
@@ -280,6 +348,10 @@ func run(cfg config, sink io.Writer) error {
 	go func() {
 		clock.Sleep(injectAt)
 		gen1.Add(1) // the fault: replica 1's goroutine dies at its next token
+		flightSt.Record(obs.FlightEvent{
+			At: clock.Now().Microseconds(), Kind: obs.FlightInject,
+			Reason: "stop-all", Replica: 1,
+		})
 		fmt.Fprintf(out, "  [%8v] replica 1 goroutine stopped\n", clock.Now().Round(time.Millisecond))
 	}()
 
@@ -303,6 +375,9 @@ func run(cfg config, sink io.Writer) error {
 			}
 			gen1.Add(1)
 			spawn(1)
+			flightSt.Record(obs.FlightEvent{
+				At: clock.Now().Microseconds(), Kind: obs.FlightRecover, Replica: 1,
+			})
 			fmt.Fprintf(out, "  [%8v] replica 1 repaired, re-integrated and respawned\n",
 				clock.Now().Round(time.Millisecond))
 		}()

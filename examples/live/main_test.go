@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"io"
 	"net/http"
 	"strings"
@@ -91,11 +92,44 @@ func TestLiveDemoHTTPEndpoint(t *testing.T) {
 	// While the demo still streams: metrics and pprof must serve.
 	if st, body := get("/metrics"); st != http.StatusOK ||
 		!strings.Contains(body, "ftpn_crt_channel_events_total") ||
-		!strings.Contains(body, "# TYPE ftpn_crt_channel_fill gauge") {
+		!strings.Contains(body, "# TYPE ftpn_crt_channel_fill gauge") ||
+		!strings.Contains(body, "ftpn_build_info{") ||
+		!strings.Contains(body, "ftpn_process_uptime_seconds") {
 		t.Errorf("/metrics status %d, body:\n%.400s", st, body)
 	}
 	if st, _ := get("/debug/pprof/cmdline"); st != http.StatusOK {
 		t.Errorf("/debug/pprof/cmdline status %d", st)
+	}
+
+	// The flight recorder serves the structured event log and, once the
+	// fault has been detected, a causal explanation of the conviction.
+	if st, body := get("/events?n=64"); st != http.StatusOK {
+		t.Errorf("/events status %d", st)
+	} else {
+		var evs []map[string]any
+		if err := json.Unmarshal([]byte(body), &evs); err != nil {
+			t.Errorf("/events is not a JSON array: %v\n%.400s", err, body)
+		} else if len(evs) == 0 {
+			t.Error("/events returned no events during an active run")
+		}
+	}
+	if st, body := get("/convictions"); st != http.StatusOK {
+		t.Errorf("/convictions status %d", st)
+	} else {
+		var exs []map[string]any
+		if err := json.Unmarshal([]byte(body), &exs); err != nil {
+			t.Errorf("/convictions is not JSON: %v\n%.400s", err, body)
+		} else if len(exs) == 0 {
+			t.Error("/convictions empty after a detected fault")
+		} else {
+			ex := exs[0]
+			if ex["fault_mode"] != "stop-all" {
+				t.Errorf("conviction fault_mode = %v, want stop-all", ex["fault_mode"])
+			}
+			if lat, ok := ex["latency_us"].(float64); !ok || lat < 0 {
+				t.Errorf("conviction latency_us = %v, want >= 0", ex["latency_us"])
+			}
+		}
 	}
 
 	healthy := false

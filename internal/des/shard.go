@@ -102,6 +102,9 @@ type shardState struct {
 	lastH  atomic.Int64 // horizon the runner last read before draining
 	grant  atomic.Int64 // horizon granted by the global fixed point
 
+	parks atomic.Int64 // this shard's parks (also counted globally)
+	wakes atomic.Int64 // wakes delivered to this shard (also counted globally)
+
 	wake bool // under ShardedKernel.mu: a waker has work for this shard
 }
 
@@ -208,6 +211,47 @@ func (sk *ShardedKernel) Stats() ShardStats {
 		Drained:      sk.drained.Load(),
 		Stalls:       sk.stalls.Load(),
 	}
+}
+
+// ShardStat is one shard's view of the synchronization protocol: its
+// own park/wake counts plus its current lookahead slack — how far the
+// inbound link promises (the horizon) run ahead of the horizon the
+// runner last adopted. Large slack means neighbours' lookahead keeps
+// the shard well fed; slack pinned near zero marks the critical chain.
+type ShardStat struct {
+	Shard     int
+	Parks     int64
+	Wakes     int64
+	Horizon   Time // min inbound promise, lifted by any global grant
+	LastH     Time // horizon the runner last adopted
+	Slack     Time // max(0, Horizon-LastH); meaningless when Unbounded
+	Unbounded bool // no inbound links: the horizon is infinite
+}
+
+// PerShardStats snapshots every shard's ShardStat. Safe to call while
+// Run is in flight — it reads only atomics (link clocks, grants,
+// lastH), so a concurrent snapshot is a consistent-enough point-in-time
+// view per field, exactly like Stats.
+func (sk *ShardedKernel) PerShardStats() []ShardStat {
+	out := make([]ShardStat, len(sk.shards))
+	for i, s := range sk.shards {
+		h := s.horizon()
+		lh := Time(s.lastH.Load())
+		st := ShardStat{
+			Shard:   i,
+			Parks:   s.parks.Load(),
+			Wakes:   s.wakes.Load(),
+			Horizon: h,
+			LastH:   lh,
+		}
+		if len(s.in) == 0 || h >= maxTime {
+			st.Unbounded = true
+		} else if h > lh {
+			st.Slack = h - lh
+		}
+		out[i] = st
+	}
+	return out
 }
 
 // Shutdown terminates all process goroutines on all shards. Call once
@@ -347,6 +391,7 @@ func (sk *ShardedKernel) wakeShard(id int) {
 	if !sk.shards[id].wake {
 		sk.shards[id].wake = true
 		sk.wakes.Add(1)
+		sk.shards[id].wakes.Add(1)
 		sk.cond.Broadcast()
 	}
 	sk.mu.Unlock()
@@ -496,6 +541,7 @@ func (sk *ShardedKernel) runShard(s *shardState, until Time) {
 			continue // something actionable arrived while we were finishing
 		}
 		sk.parks.Add(1)
+		s.parks.Add(1)
 		sk.globalCheck()
 		for !sk.done && !s.wake {
 			sk.cond.Wait()

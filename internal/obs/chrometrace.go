@@ -33,6 +33,8 @@ type chromeEvent struct {
 	PID   int64          `json:"pid"`
 	TID   int64          `json:"tid"`
 	Scope string         `json:"s,omitempty"`    // instant scope: g=global, p=process, t=thread
+	ID    int64          `json:"id,omitempty"`   // flow binding id (s/t/f phases)
+	BP    string         `json:"bp,omitempty"`   // flow bind point ("e": enclosing slice)
 	Args  map[string]any `json:"args,omitempty"` // counter series / metadata
 }
 
@@ -97,6 +99,30 @@ func (t *TraceRecorder) Instant(name string, ts int64) {
 	})
 	t.mu.Unlock()
 }
+
+// flow records one flow-phase event ("s" start, "t" step, "f" finish)
+// on the named track; events sharing (name, id) are drawn as a
+// connected arrow sequence by Perfetto.
+func (t *TraceRecorder) flow(phase, track, name string, id, ts int64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.events = append(t.events, chromeEvent{
+		Name: name, Phase: phase, TS: ts, PID: tracePID, TID: t.tid(track),
+		ID: id, BP: "e",
+	})
+	t.mu.Unlock()
+}
+
+// FlowBegin starts a named flow (causal arrow chain) at ts.
+func (t *TraceRecorder) FlowBegin(track, name string, id, ts int64) { t.flow("s", track, name, id, ts) }
+
+// FlowStep continues a flow started with FlowBegin at the same id.
+func (t *TraceRecorder) FlowStep(track, name string, id, ts int64) { t.flow("t", track, name, id, ts) }
+
+// FlowEnd terminates a flow at ts.
+func (t *TraceRecorder) FlowEnd(track, name string, id, ts int64) { t.flow("f", track, name, id, ts) }
 
 // Events returns the number of recorded events (0 for nil).
 func (t *TraceRecorder) Events() int {

@@ -5,7 +5,27 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"runtime"
 )
+
+// Version identifies the build in ftpn_build_info. Override at link
+// time with -ldflags "-X ftpn/internal/obs.Version=v1.2.3".
+var Version = "dev"
+
+// RegisterBuildInfo registers the conventional ftpn_build_info gauge
+// (constant 1 — the information lives in its labels: the build version
+// and the Go runtime that compiled it) plus a process-uptime gauge,
+// which it returns for the caller to refresh (typically per scrape)
+// with whole seconds since process start. version "" uses the
+// package-level Version. Nil-registry safe.
+func RegisterBuildInfo(r *Registry, version string) *Gauge {
+	if version == "" {
+		version = Version
+	}
+	r.Gauge("ftpn_build_info", "Build metadata; the value is constant 1.",
+		Labels{"version": version, "go_version": runtime.Version()}).Set(1)
+	return r.Gauge("ftpn_process_uptime_seconds", "Seconds since process start (caller-refreshed).", nil)
+}
 
 // WritePrometheus renders every registered series in the Prometheus text
 // exposition format (version 0.0.4), sorted by name then labels so the

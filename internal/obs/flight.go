@@ -1,0 +1,303 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"slices"
+	"sync"
+
+	"ftpn/internal/des"
+)
+
+// Flight-recorder event kinds recorded by layers above the channel
+// probes. Probe-sourced events reuse the ft.ProbeKind strings verbatim
+// ("write", "read", "drop-duplicate", "forgiven", "drop-value", ...);
+// the constants below are the extra lifecycle kinds the harnesses and
+// the recovery manager add around them.
+const (
+	// FlightInject marks a fault injection (harness-recorded): Reason
+	// holds the fault mode ("stop-all", "corrupt", ...), Replica the
+	// injected replica, At the injection instant.
+	FlightInject = "inject"
+	// FlightConvict marks a conviction (ft fault hook): Reason holds the
+	// fault reason ("queue-full", "divergence", "consumer-stall",
+	// "value-divergence"), Fill the queue fill and Aux the divergence
+	// sampled at conviction time.
+	FlightConvict = "convict"
+	// FlightRecover marks a completed recovery (recover.Manager): Aux
+	// holds the conviction→recovered latency in virtual µs.
+	FlightRecover = "recover"
+)
+
+// FlightEvent is one structured record in the flight log. At is the
+// virtual timestamp in µs; Shard and Seq identify where and in what
+// arrival order the event was captured (transport metadata — excluded
+// from the canonical serialization, see Bytes). Channel names the
+// arbitration channel (or the process, for kernel-sourced events), and
+// Aux carries a kind-specific payload: selector lead for probe events,
+// divergence for convictions, recovery latency for recover events.
+type FlightEvent struct {
+	At      int64  `json:"at_us"`
+	Shard   int    `json:"shard"`
+	Seq     uint64 `json:"seq"`
+	Channel string `json:"channel,omitempty"`
+	Kind    string `json:"kind"`
+	Reason  string `json:"reason,omitempty"`
+	Replica int    `json:"replica"`
+	Fill    int    `json:"fill"`
+	Aux     int64  `json:"aux,omitempty"`
+}
+
+// FlightStream is one bounded single-writer-ordered event ring inside a
+// FlightRecorder. Each emitter (a shard's probe set, a kernel tracer)
+// records into its own stream; Record is mutex-guarded so wall-clock
+// (crt) emitters may also share one stream across goroutines.
+//
+// A nil *FlightStream is a no-op on Record: recording disabled costs
+// one predicted branch per event site and zero allocations, matching
+// the registry's nil-metric idiom.
+type FlightStream struct {
+	mu    sync.Mutex
+	shard int
+	ring  []FlightEvent
+	next  uint64 // events ever recorded; also the next seq
+}
+
+// Record appends ev to the stream, stamping its shard and sequence
+// number. The ring is bounded: once full, the oldest event is
+// overwritten (and counted as dropped). No allocation on the hot path —
+// the ring is preallocated and the event is copied by value.
+func (s *FlightStream) Record(ev FlightEvent) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	ev.Shard = s.shard
+	ev.Seq = s.next
+	s.ring[s.next%uint64(len(s.ring))] = ev
+	s.next++
+	s.mu.Unlock()
+}
+
+// snapshot returns the retained events oldest→newest plus the number
+// overwritten.
+func (s *FlightStream) snapshot() (evs []FlightEvent, dropped uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := uint64(len(s.ring))
+	if s.next <= n {
+		return slices.Clone(s.ring[:s.next]), 0
+	}
+	head := s.next % n
+	evs = make([]FlightEvent, 0, n)
+	evs = append(evs, s.ring[head:]...)
+	evs = append(evs, s.ring[:head]...)
+	return evs, s.next - n
+}
+
+// DefaultFlightCap is the per-stream ring capacity when
+// NewFlightRecorder is given 0.
+const DefaultFlightCap = 1 << 16
+
+// FlightRecorder is the bounded structured event log: a set of
+// per-emitter streams whose merged view is deterministic in virtual
+// time. The merge uses the same canonical key family as
+// des.TraceCollector — (time, channel, per-channel arrival index) —
+// so a run's log is byte-identical whether the network ran on one
+// kernel or was partitioned across shards: every channel lives on
+// exactly one shard, making its per-stream arrival order the channel's
+// own deterministic event order, and cross-channel ties are broken by
+// name rather than by scheduling accidents.
+//
+// A nil *FlightRecorder hands out nil streams and empty views.
+type FlightRecorder struct {
+	mu      sync.Mutex
+	cap     int
+	streams []*FlightStream
+}
+
+// NewFlightRecorder returns a recorder whose streams each retain the
+// last capPerStream events (DefaultFlightCap if <= 0).
+func NewFlightRecorder(capPerStream int) *FlightRecorder {
+	if capPerStream <= 0 {
+		capPerStream = DefaultFlightCap
+	}
+	return &FlightRecorder{cap: capPerStream}
+}
+
+// Stream allocates a new event stream tagged with the emitting shard.
+// Call once per emitter (per shard's probe set, per kernel tracer);
+// returns nil on a nil recorder, so the disabled path stays a single
+// branch at every Record site.
+func (fr *FlightRecorder) Stream(shard int) *FlightStream {
+	if fr == nil {
+		return nil
+	}
+	s := &FlightStream{shard: shard, ring: make([]FlightEvent, fr.cap)}
+	fr.mu.Lock()
+	fr.streams = append(fr.streams, s)
+	fr.mu.Unlock()
+	return s
+}
+
+// AttachKernel installs a tracer on k recording scheduler events
+// (spawn/resume/block/end/stop) into a new stream, with the process
+// name as the event channel. Kernel callbacks (Proc == "") are
+// excluded — they are shard-protocol artifacts, exactly as in
+// des.TraceCollector. Note des kernels hold a single tracer slot, so
+// this replaces any TraceCollector already attached.
+func (fr *FlightRecorder) AttachKernel(k *des.Kernel, shard int) {
+	if fr == nil || k == nil {
+		return
+	}
+	st := fr.Stream(shard)
+	k.Trace(func(e des.TraceEvent) {
+		if e.Proc == "" {
+			return
+		}
+		st.Record(FlightEvent{At: int64(e.At), Channel: e.Proc, Kind: e.Kind})
+	})
+}
+
+// flightRec pairs an event with its per-(stream, channel) arrival
+// index for the canonical merge.
+type flightRec struct {
+	ev  FlightEvent
+	idx int
+}
+
+// merged returns all retained events in canonical order.
+func (fr *FlightRecorder) merged() []flightRec {
+	if fr == nil {
+		return nil
+	}
+	fr.mu.Lock()
+	streams := slices.Clone(fr.streams)
+	fr.mu.Unlock()
+	var all []flightRec
+	for _, s := range streams {
+		evs, _ := s.snapshot()
+		idx := make(map[string]int, 8)
+		for _, ev := range evs {
+			all = append(all, flightRec{ev: ev, idx: idx[ev.Channel]})
+			idx[ev.Channel]++
+		}
+	}
+	slices.SortFunc(all, func(a, b flightRec) int {
+		if a.ev.At != b.ev.At {
+			return int(a.ev.At - b.ev.At)
+		}
+		if a.ev.Channel != b.ev.Channel {
+			if a.ev.Channel < b.ev.Channel {
+				return -1
+			}
+			return 1
+		}
+		if a.idx != b.idx {
+			return a.idx - b.idx
+		}
+		// Same channel recorded by two streams — outside the
+		// one-channel-one-shard contract; fall back to transport order
+		// so the sort at least stays total.
+		if a.ev.Shard != b.ev.Shard {
+			return a.ev.Shard - b.ev.Shard
+		}
+		return int(a.ev.Seq) - int(b.ev.Seq)
+	})
+	return all
+}
+
+// Events returns every retained event in canonical merged order.
+func (fr *FlightRecorder) Events() []FlightEvent {
+	recs := fr.merged()
+	out := make([]FlightEvent, len(recs))
+	for i, r := range recs {
+		out[i] = r.ev
+	}
+	return out
+}
+
+// Tail returns the last n events in canonical order (all of them when
+// n <= 0 or n exceeds the retained count).
+func (fr *FlightRecorder) Tail(n int) []FlightEvent {
+	evs := fr.Events()
+	if n > 0 && n < len(evs) {
+		evs = evs[len(evs)-n:]
+	}
+	return evs
+}
+
+// Len returns the number of retained events across all streams.
+func (fr *FlightRecorder) Len() int {
+	if fr == nil {
+		return 0
+	}
+	fr.mu.Lock()
+	streams := slices.Clone(fr.streams)
+	fr.mu.Unlock()
+	n := 0
+	for _, s := range streams {
+		evs, _ := s.snapshot()
+		n += len(evs)
+	}
+	return n
+}
+
+// Dropped returns the total number of events overwritten by ring
+// wrap-around across all streams.
+func (fr *FlightRecorder) Dropped() uint64 {
+	if fr == nil {
+		return 0
+	}
+	fr.mu.Lock()
+	streams := slices.Clone(fr.streams)
+	fr.mu.Unlock()
+	var d uint64
+	for _, s := range streams {
+		_, dr := s.snapshot()
+		d += dr
+	}
+	return d
+}
+
+// Bytes renders the canonical serialization: one line per event in
+// merged order, excluding the transport metadata (shard, seq) that
+// legitimately differs between partitionings. This is the artifact the
+// identity tests compare — byte-identical across -parallel levels and
+// shard counts 1..8.
+func (fr *FlightRecorder) Bytes() []byte {
+	var buf bytes.Buffer
+	for _, r := range fr.merged() {
+		ev := r.ev
+		fmt.Fprintf(&buf, "%d %s %s %s %d %d %d\n",
+			ev.At, orDash(ev.Channel), orDash(ev.Kind), orDash(ev.Reason),
+			ev.Replica, ev.Fill, ev.Aux)
+	}
+	return buf.Bytes()
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
+// WriteJSON writes every retained event (canonical order, full fields
+// including shard and seq) as an indented JSON array.
+func (fr *FlightRecorder) WriteJSON(w io.Writer) error {
+	evs := fr.Events()
+	if evs == nil {
+		evs = []FlightEvent{}
+	}
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(evs); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,282 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"ftpn/internal/des"
+)
+
+func TestFlightNilSafety(t *testing.T) {
+	var fr *FlightRecorder
+	if st := fr.Stream(0); st != nil {
+		t.Fatal("nil recorder must hand out a nil stream")
+	}
+	var st *FlightStream
+	st.Record(FlightEvent{At: 1, Kind: "write"}) // must not panic
+	fr.AttachKernel(des.NewKernel(), 0)          // must not panic
+	if fr.Len() != 0 || fr.Dropped() != 0 || len(fr.Events()) != 0 || len(fr.Tail(5)) != 0 {
+		t.Fatal("nil recorder must read as empty")
+	}
+	if got := fr.Bytes(); len(got) != 0 {
+		t.Fatalf("nil recorder Bytes = %q, want empty", got)
+	}
+	var buf bytes.Buffer
+	if err := fr.WriteJSON(&buf); err != nil {
+		t.Fatalf("nil recorder WriteJSON: %v", err)
+	}
+	var evs []FlightEvent
+	if err := json.Unmarshal(buf.Bytes(), &evs); err != nil || len(evs) != 0 {
+		t.Fatalf("nil recorder must encode an empty array, got %q (err %v)", buf.String(), err)
+	}
+}
+
+func TestFlightStreamStampsShardAndSeq(t *testing.T) {
+	fr := NewFlightRecorder(8)
+	st := fr.Stream(3)
+	st.Record(FlightEvent{At: 10, Channel: "A", Kind: "write", Shard: 99, Seq: 99})
+	st.Record(FlightEvent{At: 20, Channel: "A", Kind: "read"})
+	evs := fr.Events()
+	if len(evs) != 2 {
+		t.Fatalf("events = %d, want 2", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Shard != 3 {
+			t.Errorf("event %d shard = %d, want 3 (caller-supplied value must be overwritten)", i, ev.Shard)
+		}
+		if ev.Seq != uint64(i) {
+			t.Errorf("event %d seq = %d, want %d", i, ev.Seq, i)
+		}
+	}
+}
+
+func TestFlightRingWrapAndDropped(t *testing.T) {
+	fr := NewFlightRecorder(4)
+	st := fr.Stream(0)
+	for i := 0; i < 10; i++ {
+		st.Record(FlightEvent{At: int64(i), Channel: "C", Kind: "write"})
+	}
+	if got := fr.Len(); got != 4 {
+		t.Fatalf("len = %d, want ring cap 4", got)
+	}
+	if got := fr.Dropped(); got != 6 {
+		t.Fatalf("dropped = %d, want 6", got)
+	}
+	evs := fr.Events()
+	for i, ev := range evs {
+		if want := int64(6 + i); ev.At != want {
+			t.Fatalf("event %d at = %d, want %d (oldest retained first)", i, ev.At, want)
+		}
+	}
+}
+
+func TestFlightDefaultCap(t *testing.T) {
+	fr := NewFlightRecorder(0)
+	st := fr.Stream(0)
+	if got := len(st.ring); got != DefaultFlightCap {
+		t.Fatalf("default ring cap = %d, want %d", got, DefaultFlightCap)
+	}
+}
+
+// TestFlightCanonicalMerge is the determinism core: the same logical
+// event set, recorded into differently-partitioned streams, must merge
+// to byte-identical canonical output. Each channel's events go to
+// exactly one stream (the one-channel-one-shard contract), and the
+// partitions interleave their Record calls differently.
+func TestFlightCanonicalMerge(t *testing.T) {
+	channels := []string{"A_in", "B_out", "C_in", "D_out"}
+	var logical []FlightEvent
+	rng := rand.New(rand.NewSource(42))
+	at := int64(0)
+	for i := 0; i < 400; i++ {
+		if rng.Intn(3) != 0 {
+			at += int64(rng.Intn(4)) // many same-instant events
+		}
+		logical = append(logical, FlightEvent{
+			At:      at,
+			Channel: channels[rng.Intn(len(channels))],
+			Kind:    "write",
+			Replica: 1 + rng.Intn(2),
+			Fill:    rng.Intn(8),
+		})
+	}
+
+	render := func(shardOf func(ch string) int, nShards int) []byte {
+		fr := NewFlightRecorder(0)
+		sts := make([]*FlightStream, nShards)
+		for s := range sts {
+			sts[s] = fr.Stream(s)
+		}
+		// Per-channel order is preserved (it is the canonical order);
+		// different shard counts interleave the streams differently.
+		for _, ev := range logical {
+			sts[shardOf(ev.Channel)].Record(ev)
+		}
+		return fr.Bytes()
+	}
+
+	want := render(func(string) int { return 0 }, 1)
+	if len(want) == 0 {
+		t.Fatal("canonical rendering is empty")
+	}
+	for nShards := 2; nShards <= 8; nShards++ {
+		n := nShards
+		got := render(func(ch string) int {
+			h := 0
+			for _, c := range ch {
+				h = h*31 + int(c)
+			}
+			return h % n
+		}, n)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("canonical bytes differ between 1 and %d shards:\n1 shard:\n%s\n%d shards:\n%s",
+				n, want, n, got)
+		}
+	}
+}
+
+func TestFlightTail(t *testing.T) {
+	fr := NewFlightRecorder(0)
+	st := fr.Stream(0)
+	for i := 0; i < 10; i++ {
+		st.Record(FlightEvent{At: int64(i), Channel: "C", Kind: "write"})
+	}
+	tail := fr.Tail(3)
+	if len(tail) != 3 || tail[0].At != 7 || tail[2].At != 9 {
+		t.Fatalf("Tail(3) = %+v, want last three", tail)
+	}
+	if got := fr.Tail(0); len(got) != 10 {
+		t.Fatalf("Tail(0) = %d events, want all 10", len(got))
+	}
+	if got := fr.Tail(100); len(got) != 10 {
+		t.Fatalf("Tail(100) = %d events, want all 10", len(got))
+	}
+}
+
+func TestFlightWriteJSON(t *testing.T) {
+	fr := NewFlightRecorder(0)
+	st := fr.Stream(2)
+	st.Record(FlightEvent{At: 5, Channel: "F_in", Kind: FlightConvict, Reason: "queue-full", Replica: 1, Fill: 4, Aux: 7})
+	var buf bytes.Buffer
+	if err := fr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var evs []FlightEvent
+	if err := json.Unmarshal(buf.Bytes(), &evs); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	want := FlightEvent{At: 5, Shard: 2, Seq: 0, Channel: "F_in", Kind: FlightConvict,
+		Reason: "queue-full", Replica: 1, Fill: 4, Aux: 7}
+	if len(evs) != 1 || evs[0] != want {
+		t.Fatalf("round-trip = %+v, want %+v", evs, want)
+	}
+}
+
+func TestFlightAttachKernel(t *testing.T) {
+	fr := NewFlightRecorder(0)
+	k := des.NewKernel()
+	fr.AttachKernel(k, 0)
+	k.Spawn("worker", 0, func(p *des.Proc) {
+		p.Delay(10)
+		p.Delay(10)
+	})
+	k.Run(0)
+	k.Shutdown()
+	evs := fr.Events()
+	if len(evs) == 0 {
+		t.Fatal("no scheduler events recorded")
+	}
+	kinds := map[string]int{}
+	for _, ev := range evs {
+		if ev.Channel != "worker" {
+			t.Fatalf("kernel event channel = %q, want process name (callbacks must be excluded)", ev.Channel)
+		}
+		kinds[ev.Kind]++
+	}
+	for _, k := range []string{"spawn", "end"} {
+		if kinds[k] == 0 {
+			t.Errorf("missing %q scheduler event; kinds = %v", k, kinds)
+		}
+	}
+}
+
+// TestFlightHammer is the -race proof: concurrent emitters on separate
+// streams, a shared stream, and concurrent readers of every view.
+func TestFlightHammer(t *testing.T) {
+	fr := NewFlightRecorder(1 << 10)
+	shared := fr.Stream(0)
+	const writers, perW = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			own := fr.Stream(w + 1)
+			for i := 0; i < perW; i++ {
+				own.Record(FlightEvent{At: int64(i), Channel: fmt.Sprintf("c%d", w), Kind: "write"})
+				shared.Record(FlightEvent{At: int64(i), Channel: "shared", Kind: "read"})
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			fr.Events()
+			fr.Bytes()
+			fr.Tail(16)
+			fr.Len()
+			fr.Dropped()
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got := fr.Len() + int(fr.Dropped()); got != 2*writers*perW {
+		t.Fatalf("retained+dropped = %d, want %d", got, 2*writers*perW)
+	}
+}
+
+// TestFlightRecordDisabledAllocs pins the acceptance criterion that a
+// disabled recorder (nil stream) allocates nothing on the probe path.
+func TestFlightRecordDisabledAllocs(t *testing.T) {
+	var st *FlightStream
+	ev := FlightEvent{At: 1, Channel: "C", Kind: "write", Fill: 3}
+	if allocs := testing.AllocsPerRun(1000, func() { st.Record(ev) }); allocs != 0 {
+		t.Fatalf("disabled Record allocates %.1f per op, want 0", allocs)
+	}
+}
+
+// TestFlightRecordEnabledAllocs pins the steady-state hot path: the
+// ring is preallocated, so an enabled Record is also alloc-free.
+func TestFlightRecordEnabledAllocs(t *testing.T) {
+	fr := NewFlightRecorder(1 << 8)
+	st := fr.Stream(0)
+	ev := FlightEvent{At: 1, Channel: "C", Kind: "write", Fill: 3}
+	if allocs := testing.AllocsPerRun(1000, func() { st.Record(ev) }); allocs != 0 {
+		t.Fatalf("enabled Record allocates %.1f per op, want 0", allocs)
+	}
+}
+
+func BenchmarkFlightRecordDisabled(b *testing.B) {
+	var st *FlightStream
+	ev := FlightEvent{At: 1, Channel: "C", Kind: "write", Fill: 3}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		st.Record(ev)
+	}
+}
+
+func BenchmarkFlightRecord(b *testing.B) {
+	fr := NewFlightRecorder(1 << 16)
+	st := fr.Stream(0)
+	ev := FlightEvent{At: 1, Channel: "C", Kind: "write", Fill: 3}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ev.At = int64(i)
+		st.Record(ev)
+	}
+}

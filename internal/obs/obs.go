@@ -149,6 +149,30 @@ func (h *Histogram) Sum() int64 {
 	return h.sum.Load()
 }
 
+// Merge folds other's observations into h bucket-wise. Because buckets
+// are exact counts (no sampling), Merge is exact, associative and
+// order-independent: merging in any order yields identical state to
+// observing the pooled samples directly. Both histograms must share
+// the same bucket bounds; nil operands are no-ops.
+func (h *Histogram) Merge(other *Histogram) {
+	if h == nil || other == nil {
+		return
+	}
+	if len(h.bounds) != len(other.bounds) {
+		panic("obs: Merge of histograms with different bucket bounds")
+	}
+	for i, b := range other.bounds {
+		if h.bounds[i] != b {
+			panic("obs: Merge of histograms with different bucket bounds")
+		}
+	}
+	for i := range other.counts {
+		h.counts[i].Add(other.counts[i].Load())
+	}
+	h.sum.Add(other.sum.Load())
+	h.n.Add(other.n.Load())
+}
+
 // ExpBuckets returns n bucket bounds start, start*factor, ... — the
 // stock shape for fill and latency histograms.
 func ExpBuckets(start, factor int64, n int) []int64 {

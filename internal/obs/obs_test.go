@@ -3,6 +3,8 @@ package obs
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
@@ -139,6 +141,123 @@ ftpn_ft_fill_dist_count{channel="F_in"} 3
 	if buf.String() != buf2.String() {
 		t.Error("two encodings differ")
 	}
+}
+
+// TestBuildInfoGolden locks the build-info exposition convention:
+// constant-1 gauge with the information in labels, plus the
+// caller-refreshed uptime gauge.
+func TestBuildInfoGolden(t *testing.T) {
+	r := NewRegistry()
+	uptime := RegisterBuildInfo(r, "v9.9.9-test")
+	uptime.Set(42)
+	want := fmt.Sprintf(`# HELP ftpn_build_info Build metadata; the value is constant 1.
+# TYPE ftpn_build_info gauge
+ftpn_build_info{go_version=%q,version="v9.9.9-test"} 1
+# HELP ftpn_process_uptime_seconds Seconds since process start (caller-refreshed).
+# TYPE ftpn_process_uptime_seconds gauge
+ftpn_process_uptime_seconds 42
+`, runtime.Version())
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != want {
+		t.Errorf("golden mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestBuildInfoDefaultsAndNil(t *testing.T) {
+	r := NewRegistry()
+	RegisterBuildInfo(r, "") // "" -> package Version
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `version="`+Version+`"`) {
+		t.Errorf("default version missing from exposition:\n%s", buf.String())
+	}
+	var nilReg *Registry
+	if g := RegisterBuildInfo(nilReg, "x"); g != nil {
+		t.Error("nil registry must yield a nil uptime gauge")
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	bounds := []int64{1, 4, 16}
+	r := NewRegistry()
+	a := r.Histogram("merge_a", "h", bounds, nil)
+	b := r.Histogram("merge_b", "h", bounds, nil)
+	pooled := r.Histogram("merge_pool", "h", bounds, nil)
+	samplesA := []int64{0, 2, 5, 100}
+	samplesB := []int64{1, 1, 17}
+	for _, v := range samplesA {
+		a.Observe(v)
+		pooled.Observe(v)
+	}
+	for _, v := range samplesB {
+		b.Observe(v)
+		pooled.Observe(v)
+	}
+	a.Merge(b)
+	if a.Count() != pooled.Count() || a.Sum() != pooled.Sum() {
+		t.Fatalf("merged count/sum = %d/%d, want %d/%d", a.Count(), a.Sum(), pooled.Count(), pooled.Sum())
+	}
+	for i := range bounds {
+		if got, want := a.counts[i].Load(), pooled.counts[i].Load(); got != want {
+			t.Fatalf("bucket %d = %d, want %d", i, got, want)
+		}
+	}
+	// Merge is nil-safe in both directions.
+	a.Merge(nil)
+	var nilH *Histogram
+	nilH.Merge(a)
+	if a.Count() != pooled.Count() {
+		t.Fatal("nil merge changed the receiver")
+	}
+}
+
+// TestHistogramMergeOrderIndependent: merging shard-local histograms in
+// any order yields identical buckets — counts are exact, so the merge
+// is associative and commutative.
+func TestHistogramMergeOrderIndependent(t *testing.T) {
+	bounds := ExpBuckets(1, 2, 8)
+	build := func(order []int) *Histogram {
+		r := NewRegistry()
+		parts := make([]*Histogram, 4)
+		for i := range parts {
+			parts[i] = r.Histogram(fmt.Sprintf("p%d", i), "h", bounds, nil)
+			for j := 0; j < 100; j++ {
+				parts[i].Observe(int64((i*37 + j*j) % 300))
+			}
+		}
+		acc := r.Histogram("acc", "h", bounds, nil)
+		for _, i := range order {
+			acc.Merge(parts[i])
+		}
+		return acc
+	}
+	fwd := build([]int{0, 1, 2, 3})
+	rev := build([]int{3, 1, 0, 2})
+	if fwd.Count() != rev.Count() || fwd.Sum() != rev.Sum() {
+		t.Fatalf("order changed count/sum: %d/%d vs %d/%d", fwd.Count(), fwd.Sum(), rev.Count(), rev.Sum())
+	}
+	for i := range fwd.counts {
+		if fwd.counts[i].Load() != rev.counts[i].Load() {
+			t.Fatalf("bucket %d differs across merge orders", i)
+		}
+	}
+}
+
+func TestHistogramMergeBoundsMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	a := r.Histogram("mm_a", "h", []int64{1, 2}, nil)
+	b := r.Histogram("mm_b", "h", []int64{1, 3}, nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("merging histograms with different bounds must panic")
+		}
+	}()
+	a.Merge(b)
 }
 
 func TestWriteJSON(t *testing.T) {

@@ -1,6 +1,10 @@
 package obs
 
-import "ftpn/internal/des"
+import (
+	"strconv"
+
+	"ftpn/internal/des"
+)
 
 // ShardCounters exposes the sharded kernel's conservative-protocol
 // counters as metrics: null-message clock publications, horizon grants
@@ -10,6 +14,16 @@ import "ftpn/internal/des"
 // a live binding.
 type ShardCounters struct {
 	Nulls, Grants, Parks, Wakes, Drained, Stalls *Counter
+
+	// reg is kept for lazy per-shard series registration (the shard
+	// count is only known at Update time).
+	reg      *Registry
+	perShard []perShardGauges
+}
+
+// perShardGauges are the `shard`-labeled gauges for one shard.
+type perShardGauges struct {
+	Slack, Parks, Wakes, ParkRatio *Gauge
 }
 
 // NewShardCounters registers the ftpn_des_shard_* counter family on r.
@@ -23,6 +37,7 @@ func NewShardCounters(r *Registry) ShardCounters {
 		Wakes:   r.Counter("ftpn_des_shard_wakes_total", "wakes of parked shards", nil),
 		Drained: r.Counter("ftpn_des_shard_drained_total", "cross-shard payload messages drained", nil),
 		Stalls:  r.Counter("ftpn_des_shard_stalls_total", "full-transport stalls", nil),
+		reg:     r,
 	}
 }
 
@@ -35,4 +50,37 @@ func (c *ShardCounters) Update(s des.ShardStats) {
 	c.Wakes.Add(s.Wakes - c.Wakes.Value())
 	c.Drained.Add(s.Drained - c.Drained.Value())
 	c.Stalls.Add(s.Stalls - c.Stalls.Value())
+}
+
+// UpdatePerShard publishes a per-shard snapshot: each shard's lookahead
+// slack (how far its inbound promises run ahead of the horizon it last
+// adopted; -1 when unbounded, i.e. no inbound links), its park/wake
+// counts, and its idle park ratio in permille — 1000·parks/(parks+wakes),
+// 0 when the shard never parked. Series are registered lazily with a
+// `shard` label on first sight of each index; pass sk.PerShardStats().
+func (c *ShardCounters) UpdatePerShard(stats []des.ShardStat) {
+	for _, st := range stats {
+		for len(c.perShard) <= st.Shard {
+			lbl := Labels{"shard": strconv.Itoa(len(c.perShard))}
+			c.perShard = append(c.perShard, perShardGauges{
+				Slack:     c.reg.Gauge("ftpn_des_shard_lookahead_slack_us", "inbound horizon minus last adopted horizon, virtual us (-1 = unbounded)", lbl),
+				Parks:     c.reg.Gauge("ftpn_des_shard_parks", "this shard's runner parks", lbl),
+				Wakes:     c.reg.Gauge("ftpn_des_shard_wakes", "wakes delivered to this shard", lbl),
+				ParkRatio: c.reg.Gauge("ftpn_des_shard_park_ratio_permille", "1000*parks/(parks+wakes) for this shard", lbl),
+			})
+		}
+		g := c.perShard[st.Shard]
+		if st.Unbounded {
+			g.Slack.Set(-1)
+		} else {
+			g.Slack.Set(int64(st.Slack))
+		}
+		g.Parks.Set(st.Parks)
+		g.Wakes.Set(st.Wakes)
+		if total := st.Parks + st.Wakes; total > 0 {
+			g.ParkRatio.Set(1000 * st.Parks / total)
+		} else {
+			g.ParkRatio.Set(0)
+		}
+	}
 }

@@ -1,6 +1,8 @@
 package obs
 
 import (
+	"bytes"
+	"strings"
 	"testing"
 
 	"ftpn/internal/des"
@@ -27,5 +29,134 @@ func TestShardCountersNilRegistry(t *testing.T) {
 	c.Update(des.ShardStats{NullMessages: 5}) // must not panic
 	if c.Nulls.Value() != 0 {
 		t.Fatalf("nil-registry counter accumulated")
+	}
+	c.UpdatePerShard([]des.ShardStat{{Shard: 0, Parks: 1, Wakes: 1}}) // must not panic
+}
+
+// runTwoShardToy runs a real cross-shard workload (a periodic source on
+// shard 0 feeding a sink on shard 1 over a TimedRing link). It pauses
+// mid-run to take a bounded-horizon per-shard snapshot (after a
+// completed run every horizon is released to the far future and reads
+// as unbounded), then runs to completion and returns the kernel plus
+// the mid-run snapshot.
+func runTwoShardToy(t *testing.T) (*des.ShardedKernel, []des.ShardStat) {
+	t.Helper()
+	sk := des.NewShardedKernel(2)
+	ring := des.NewTimedRing[int64](8)
+	link := sk.Connect(0, 1, 5)
+	var got int
+	sk.RegisterDrain(1, func(k *des.Kernel) int64 {
+		var n int64
+		for {
+			m, ok := ring.TryPop()
+			if !ok {
+				break
+			}
+			k.At(m.At, func() { got++ })
+			n++
+		}
+		link.NotifyDrained(n)
+		return n
+	})
+	i := 0
+	sk.Shard(0).Spawn("src", 0, func(p *des.Proc) {
+		for ; i < 200; i++ {
+			p.Delay(7)
+			at := p.Now() + 5
+			for !ring.TryPush(des.Stamped[int64]{At: at, V: int64(i)}) {
+				link.StallWake()
+			}
+			link.NotifySent()
+		}
+	})
+	sk.Run(500) // pause mid-run: horizons still live
+	mid := sk.PerShardStats()
+	sk.Run(0)
+	sk.Shutdown()
+	if got != 200 {
+		t.Fatalf("sink saw %d messages, want 200", got)
+	}
+	return sk, mid
+}
+
+// TestPerShardStats checks the per-shard snapshot against the global
+// aggregate on a real two-shard run: park/wake sums must reconcile,
+// shard 0 (no inbound links) is unbounded, shard 1's slack is the
+// inbound horizon headroom.
+func TestPerShardStats(t *testing.T) {
+	sk, mid := runTwoShardToy(t)
+	per := sk.PerShardStats()
+	if len(per) != 2 {
+		t.Fatalf("per-shard stats = %d entries, want 2", len(per))
+	}
+	agg := sk.Stats()
+	var parks, wakes int64
+	for i, st := range per {
+		if st.Shard != i {
+			t.Fatalf("entry %d has shard %d", i, st.Shard)
+		}
+		parks += st.Parks
+		wakes += st.Wakes
+	}
+	if parks != agg.Parks {
+		t.Fatalf("per-shard parks sum %d != aggregate %d", parks, agg.Parks)
+	}
+	if wakes != agg.Wakes {
+		t.Fatalf("per-shard wakes sum %d != aggregate %d", wakes, agg.Wakes)
+	}
+	if !per[0].Unbounded {
+		t.Fatalf("shard 0 has no inbound links, want Unbounded: %+v", per[0])
+	}
+	// Mid-run, shard 1's inbound horizon is live: bounded, with
+	// non-negative slack over the horizon it last adopted.
+	if mid[1].Unbounded {
+		t.Fatalf("mid-run shard 1 has an inbound link, want bounded: %+v", mid[1])
+	}
+	if mid[1].Slack < 0 || mid[1].Horizon < mid[1].LastH {
+		t.Fatalf("mid-run shard 1 slack inconsistent: %+v", mid[1])
+	}
+}
+
+// TestUpdatePerShardGauges drives UpdatePerShard from a real run and
+// checks the shard-labeled series land in the exposition with a sane
+// park ratio.
+func TestUpdatePerShardGauges(t *testing.T) {
+	sk, _ := runTwoShardToy(t)
+	r := NewRegistry()
+	c := NewShardCounters(r)
+	c.Update(sk.Stats())
+	c.UpdatePerShard(sk.PerShardStats())
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`ftpn_des_shard_lookahead_slack_us{shard="0"} -1`, // unbounded
+		`ftpn_des_shard_lookahead_slack_us{shard="1"}`,
+		`ftpn_des_shard_parks{shard="0"}`,
+		`ftpn_des_shard_parks{shard="1"}`,
+		`ftpn_des_shard_wakes{shard="1"}`,
+		`ftpn_des_shard_park_ratio_permille{shard="0"}`,
+		`ftpn_des_shard_park_ratio_permille{shard="1"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	for i, g := range c.perShard {
+		if ratio := g.ParkRatio.Value(); ratio < 0 || ratio > 1000 {
+			t.Errorf("shard %d park ratio = %d, want [0,1000]", i, ratio)
+		}
+		if g.Parks.Value() < 0 || g.Wakes.Value() < 0 {
+			t.Errorf("shard %d negative park/wake gauges", i)
+		}
+	}
+	// Re-publishing after more work must reuse the same series (lazy
+	// registration is idempotent).
+	n := len(c.perShard)
+	c.UpdatePerShard(sk.PerShardStats())
+	if len(c.perShard) != n {
+		t.Errorf("UpdatePerShard re-registered series: %d -> %d", n, len(c.perShard))
 	}
 }

@@ -126,7 +126,8 @@ type Manager struct {
 	// deterministically.
 	OnRecovered func(Event)
 
-	reg *obs.Registry
+	reg    *obs.Registry
+	flight *obs.FlightStream
 }
 
 // NewManager attaches a recovery manager to the system.
@@ -147,6 +148,14 @@ func (m *Manager) Events() []Event { return append([]Event(nil), m.events...) }
 // nil registry is a no-op. Recovery events are rare, so series are
 // resolved through the registry per event rather than pre-bound.
 func (m *Manager) Observe(reg *obs.Registry) { m.reg = reg }
+
+// RecordFlight mirrors each completed recovery into a flight-recorder
+// stream as an obs.FlightRecover event (Aux = detection→recovery
+// latency in virtual µs), closing the causal chain obs.Explain
+// reconstructs. Convictions themselves are recorded by
+// ft.InstrumentFlight's fault hook, which fires for every detection
+// whether or not a manager is attached. A nil stream is a no-op.
+func (m *Manager) RecordFlight(st *obs.FlightStream) { m.flight = st }
 
 // conviction samples the detecting channel's state for a fault.
 func (m *Manager) conviction(f ft.Fault, scheduled bool) Conviction {
@@ -208,6 +217,15 @@ func (m *Manager) recover(conv Conviction) {
 		Complete:    complete,
 	}
 	m.events = append(m.events, ev)
+	m.flight.Record(obs.FlightEvent{
+		At:      ev.RecoveredAt,
+		Channel: det.Channel,
+		Kind:    obs.FlightRecover,
+		Reason:  string(det.Reason),
+		Replica: det.Replica,
+		Fill:    conv.Fill,
+		Aux:     ev.RecoveredAt - ev.DetectedAt,
+	})
 	if reg := m.reg; reg != nil {
 		reg.Counter("ftpn_recover_recoveries_total", "Recoveries performed.",
 			obs.Labels{"replica": fmt.Sprintf("%d", det.Replica), "complete": fmt.Sprintf("%t", complete)}).Inc()

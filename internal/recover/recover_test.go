@@ -205,3 +205,57 @@ func TestOnConvictedCarriesChannelState(t *testing.T) {
 		t.Errorf("latency histogram count = %d, want %d", h.Count(), len(m.Events()))
 	}
 }
+
+// TestManagerRecordsFlightChain closes the forensics loop end-to-end:
+// with the flight recorder armed on the probes (ft.InstrumentFlight),
+// the harness (inject event) and the manager (RecordFlight), obs.Explain
+// must reconstruct the full injection → conviction → re-integration →
+// recovery chain from the event log alone.
+func TestManagerRecordsFlightChain(t *testing.T) {
+	var sink []kpn.Token
+	k, sys := buildSys(t, 300, &sink)
+	m := NewManager(sys, Plan{Delay: 20_000, MaxRecoveries: 1})
+	fr := obs.NewFlightRecorder(0)
+	st := fr.Stream(0)
+	ft.InstrumentFlight(sys, st)
+	m.RecordFlight(st)
+
+	const injectAt = 40_000
+	st.Record(obs.FlightEvent{At: injectAt, Kind: obs.FlightInject, Reason: "stop-all", Replica: 2})
+	sys.InjectFault(2, injectAt, fault.StopAll, 0)
+	k.Run(0)
+	k.Shutdown()
+
+	if len(m.Events()) != 1 {
+		t.Fatalf("recoveries = %d, want 1", len(m.Events()))
+	}
+	rec := m.Events()[0]
+	first := rec.Detection
+	ex, ok := obs.Explain(fr.Events(), first.Channel, first.Replica, int64(first.At))
+	if !ok {
+		t.Fatal("conviction missing from the flight log")
+	}
+	if ex.FaultMode != "stop-all" || ex.InjectedAt != injectAt {
+		t.Errorf("injection reconstructed as %q at %d, want stop-all at %d", ex.FaultMode, ex.InjectedAt, injectAt)
+	}
+	if want := int64(first.At - injectAt); ex.LatencyUs != want {
+		t.Errorf("latency reconstructed as %d, want %d", ex.LatencyUs, want)
+	}
+	if ex.RecoveredAt != int64(rec.RecoveredAt) {
+		t.Errorf("recovery reconstructed at %d, manager recorded %d", ex.RecoveredAt, rec.RecoveredAt)
+	}
+	if ex.ReintegratedAt < 0 {
+		t.Error("re-integration probe missing from the chain")
+	}
+	// The recover event carries the detection→recovery latency in Aux.
+	for _, ev := range ex.Chain {
+		if ev.Kind == obs.FlightRecover {
+			if want := int64(rec.RecoveredAt - rec.DetectedAt); ev.Aux != want {
+				t.Errorf("recover event Aux = %d, want latency %d", ev.Aux, want)
+			}
+		}
+	}
+	// A nil stream stays a no-op.
+	m2 := NewManager(sys, Plan{})
+	m2.RecordFlight(nil)
+}

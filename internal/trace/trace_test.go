@@ -1,6 +1,8 @@
 package trace
 
 import (
+	"math"
+	"math/rand"
 	"testing"
 	"testing/quick"
 
@@ -220,5 +222,95 @@ func TestStatsPercentiles(t *testing.T) {
 	a.Merge(&b)
 	if got := a.Percentile(90); got != 90 {
 		t.Errorf("merged p90 = %d, want 90", got)
+	}
+}
+
+// TestStatsMergePooledPercentileProperty is the property test behind
+// the campaign aggregators: for shard-partitioned sample sets that fit
+// the reservoir, merging per-shard Stats in ANY order yields exactly
+// the percentiles of the pooled stream, across many seeded partitions.
+func TestStatsMergePooledPercentileProperty(t *testing.T) {
+	quantiles := []float64{1, 10, 25, 50, 75, 90, 95, 99, 100}
+	for seed := int64(1); seed <= 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		nParts := 2 + rng.Intn(5)
+		var pooled Stats
+		parts := make([]Stats, nParts)
+		total := 500 + rng.Intn(4000)
+		for i := 0; i < total; i++ {
+			v := int64(rng.Intn(1_000_000)) - 500_000
+			pooled.Add(v)
+			parts[rng.Intn(nParts)].Add(v)
+		}
+
+		mergeIn := func(order []int) *Stats {
+			var acc Stats
+			for _, i := range order {
+				// Merge a copy: campaign workers own their shard Stats.
+				p := parts[i]
+				p.samples = append([]int64(nil), parts[i].samples...)
+				acc.Merge(&p)
+			}
+			return &acc
+		}
+		fwd := make([]int, nParts)
+		rev := make([]int, nParts)
+		for i := range fwd {
+			fwd[i] = i
+			rev[i] = nParts - 1 - i
+		}
+		a, b := mergeIn(fwd), mergeIn(rev)
+
+		for _, m := range []*Stats{a, b} {
+			if m.Count() != pooled.Count() || m.Min() != pooled.Min() ||
+				m.Max() != pooled.Max() || m.Mean() != pooled.Mean() {
+				t.Fatalf("seed %d: merged moments diverge: %v vs pooled %v", seed, m, &pooled)
+			}
+		}
+		for _, q := range quantiles {
+			want := pooled.Percentile(q)
+			if got := a.Percentile(q); got != want {
+				t.Fatalf("seed %d: p%.0f forward-merge = %d, pooled = %d", seed, q, got, want)
+			}
+			if got := b.Percentile(q); got != want {
+				t.Fatalf("seed %d: p%.0f reverse-merge = %d, pooled = %d", seed, q, got, want)
+			}
+		}
+	}
+}
+
+// TestStatsMergeOverflowPercentileTolerance: once the pooled stream
+// exceeds the reservoir, merged percentiles are estimates — check they
+// stay within a small relative band of the exact pooled value on a
+// uniform stream, for several seeds.
+func TestStatsMergeOverflowPercentileTolerance(t *testing.T) {
+	const span = 1_000_000
+	for seed := int64(1); seed <= 3; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		var a, b Stats
+		total := maxRetained + maxRetained/2
+		for i := 0; i < total; i++ {
+			v := int64(rng.Intn(span))
+			if i%2 == 0 {
+				a.Add(v)
+			} else {
+				b.Add(v)
+			}
+		}
+		a.Merge(&b)
+		if a.Count() != int64(total) {
+			t.Fatalf("seed %d: merged count = %d, want %d", seed, a.Count(), total)
+		}
+		if len(a.samples) > maxRetained {
+			t.Fatalf("seed %d: reservoir overflowed cap: %d", seed, len(a.samples))
+		}
+		for _, q := range []float64{25, 50, 75, 90, 99} {
+			got := float64(a.Percentile(q))
+			want := q / 100 * span // exact quantile of U[0,span)
+			if diff := math.Abs(got - want); diff > 0.02*span {
+				t.Fatalf("seed %d: p%.0f = %.0f, want ~%.0f (|diff| %.0f > 2%% of span)",
+					seed, q, got, want, diff)
+			}
+		}
 	}
 }

@@ -18,6 +18,13 @@
 #    across conservative (Chandy–Misra) kernel shards, swept over shard
 #    counts with per-point trace-identity checks and the per-app identity
 #    matrix (DESIGN.md §11). The baseline is the in-suite single kernel.
+#  - BENCH_PR9.json: detection-latency distribution over generated
+#    topologies with the flight recorder armed, each latency checked
+#    against its analytic (m,k) bound and its forensic reconstruction
+#    (DESIGN.md §14). The probe-hook overhead rows are compared against
+#    the pre-recorder tree (PR9_SEED_REV) with the same worktree recipe
+#    as BENCH_PR4, so "what did the recorder hooks cost" is measured on
+#    one host back to back.
 # Finishes with the go-bench view of the same targets for eyeballing.
 set -eu
 cd "$(dirname "$0")/.."
@@ -98,8 +105,28 @@ if go test -run xxx -bench 'ShardDispatch' -benchmem -count 5 ./internal/des/ >"
 fi
 
 echo
+echo "== BENCH_PR9: detection-latency + flight-recorder overhead =="
+PR9_SEED_REV=${PR9_SEED_REV:-42b1fb0}
+seed_sel=0
+seed_rep=0
+if git rev-parse --verify --quiet "$PR9_SEED_REV^{commit}" >/dev/null; then
+    wt=$(mktemp -d)
+    git worktree add --detach --force "$wt" "$PR9_SEED_REV" >/dev/null
+    line=$( (cd "$wt" && go run ./cmd/ftpnsim -exp table2 -app mjpeg -runs 2 -tokens 120) \
+        | grep 'runtime: selector' || true)
+    git worktree remove --force "$wt" >/dev/null
+    seed_sel=$(printf '%s' "$line" | sed -n 's/.*selector \([0-9][0-9]*\)ns\/op.*/\1/p')
+    seed_rep=$(printf '%s' "$line" | sed -n 's/.*replicator \([0-9][0-9]*\)ns\/op.*/\1/p')
+    echo "seed ($PR9_SEED_REV): selector ${seed_sel:-?}ns/op, replicator ${seed_rep:-?}ns/op"
+else
+    echo "seed revision $PR9_SEED_REV unavailable; skipping seed comparison"
+fi
+go run ./cmd/ftpnsim -exp latbench -n 500 -seed 1 -out BENCH_PR9.json \
+    -seed-sel-ns "${seed_sel:-0}" -seed-rep-ns "${seed_rep:-0}"
+
+echo
 echo "== go test -bench view =="
 go test -run xxx -bench 'Table2MJPEG' -benchmem .
 go test -run xxx -bench 'SupDiff|DetectionBound|DelayBound|OutputBound$' -benchmem ./internal/rtc/
 go test -run xxx -bench . -benchmem ./internal/des/
-go test -run xxx -bench 'SelectorHotPath|CounterInc|HistogramObserve' -benchmem ./internal/ft/ ./internal/obs/
+go test -run xxx -bench 'SelectorHotPath|CounterInc|HistogramObserve|FlightRecord' -benchmem ./internal/ft/ ./internal/obs/
